@@ -1,0 +1,178 @@
+// Command joinopt runs a quality-aware extraction join end to end on a
+// synthetic HQ ⋈ EX workload:
+//
+//	joinopt -taug 16 -taub 160                 # adaptive optimization (§VI)
+//	joinopt -taug 16 -taub 160 -mode optimize  # perfect-knowledge plan choice
+//	joinopt -mode plan -jn OIJN -x1 SC         # execute one specific plan
+//	joinopt -mode budget -budget 5000          # max good output within a time budget
+//	joinopt -mode precision -taug 16 -prec 0.5 # precision-style preference
+//
+// It reports the chosen plan, the cost-model execution time, and the true
+// output composition (graded against the generator's gold sets).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"joinopt"
+)
+
+func main() {
+	var (
+		docs   = flag.Int("docs", 4000, "documents per text database")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		tauG   = flag.Int("taug", 16, "minimum number of good join tuples (τg)")
+		tauB   = flag.Int("taub", 160, "maximum number of bad join tuples (τb)")
+		mode   = flag.String("mode", "adaptive", "adaptive|optimize|robust|plan|budget|precision|recall")
+		sigma  = flag.Float64("sigma", 2, "robust mode: confidence margin in standard deviations")
+		budget = flag.Float64("budget", 5000, "budget mode: execution-time budget")
+		prec   = flag.Float64("prec", 0.5, "precision mode: minimum output precision")
+		recall = flag.Float64("recall", 0.25, "recall mode: minimum fraction of achievable good tuples")
+		jn     = flag.String("jn", "IDJN", "plan mode: join algorithm IDJN|OIJN|ZGJN")
+		th1    = flag.Float64("theta1", 0.4, "plan mode: knob θ1 (minSim)")
+		th2    = flag.Float64("theta2", 0.4, "plan mode: knob θ2 (minSim)")
+		x1     = flag.String("x1", "SC", "plan mode: retrieval strategy for R1 (SC|FS|AQG)")
+		x2     = flag.String("x2", "SC", "plan mode: retrieval strategy for R2 (SC|FS|AQG)")
+		outer  = flag.Int("outer", 0, "plan mode: OIJN outer side (0 or 1)")
+		show   = flag.Int("show", 5, "number of join tuples to print")
+	)
+	flag.Parse()
+
+	task, err := joinopt.NewHQJoinEX(joinopt.WorkloadParams{NumDocs: *docs, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	r1, r2 := task.Relations()
+	d1, d2 := task.DatabaseSizes()
+	fmt.Printf("task: %s (%d docs) ⋈ %s (%d docs)\n", r1, d1, r2, d2)
+	fmt.Printf("gold join size (upper bound on good output): %d\n\n", task.GoldJoinSize())
+	req := joinopt.Requirement{TauG: *tauG, TauB: *tauB}
+
+	switch *mode {
+	case "adaptive":
+		res, err := task.RunAdaptive(req)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("requirement: τg=%d τb=%d\n", req.TauG, req.TauB)
+		for i, p := range res.ChosenPlans {
+			fmt.Printf("decision %d: %s\n", i+1, p)
+		}
+		report(res.Final, *show)
+		fmt.Printf("total cost-model time (incl. pilot): %.0f\n", res.TotalTime)
+	case "optimize":
+		best, err := task.Optimize(req)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chosen plan: %s\n", best.Plan)
+		fmt.Printf("predicted: good=%.0f bad=%.0f time=%.0f\n\n", best.EstimatedGood, best.EstimatedBad, best.EstimatedTime)
+		out, err := task.Execute(best.Plan, func(p joinopt.Progress) bool {
+			return p.GoodTuples >= req.TauG
+		})
+		if err != nil {
+			fatal(err)
+		}
+		report(out, *show)
+	case "plan":
+		plan := joinopt.Plan{
+			Algorithm: joinopt.Algorithm(*jn),
+			Theta:     [2]float64{*th1, *th2},
+			X:         [2]joinopt.Strategy{joinopt.Strategy(*x1), joinopt.Strategy(*x2)},
+			OuterIdx:  *outer,
+		}
+		if plan.Algorithm == joinopt.OuterInnerJoin {
+			inner := 1 - *outer
+			plan.X[inner] = joinopt.QueryRetrieve
+		}
+		if plan.Algorithm == joinopt.ZigZagJoin {
+			plan.X = [2]joinopt.Strategy{joinopt.QueryRetrieve, joinopt.QueryRetrieve}
+		}
+		out, err := task.Execute(plan, func(p joinopt.Progress) bool {
+			return p.GoodTuples >= req.TauG
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("executed plan: %s\n", plan)
+		report(out, *show)
+	case "robust":
+		best, err := task.OptimizeRobust(req, *sigma)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("robust (%.0fσ) chosen plan: %s\n", *sigma, best.Plan)
+		fmt.Printf("conservative bounds: good ≥ %.0f, bad ≤ %.0f, time %.0f\n",
+			best.EstimatedGood, best.EstimatedBad, best.EstimatedTime)
+	case "budget":
+		best, err := task.OptimizeWithinBudget(*budget, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("time budget %.0f → plan: %s\n", *budget, best.Plan)
+		fmt.Printf("predicted: good=%.0f bad=%.0f time=%.0f\n", best.EstimatedGood, best.EstimatedBad, best.EstimatedTime)
+		out, err := task.Execute(best.Plan, func(p joinopt.Progress) bool { return p.Time >= *budget })
+		if err != nil {
+			fatal(err)
+		}
+		report(out, *show)
+	case "precision":
+		best, derived, err := task.OptimizePrecision(*tauG, *prec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("precision ≥ %.2f with %d good → requirement τg=%d τb=%d\n", *prec, *tauG, derived.TauG, derived.TauB)
+		fmt.Printf("chosen plan: %s (predicted good=%.0f bad=%.0f time=%.0f)\n",
+			best.Plan, best.EstimatedGood, best.EstimatedBad, best.EstimatedTime)
+	case "recall":
+		best, derived, err := task.OptimizeRecall(*recall)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recall ≥ %.2f → requirement τg=%d τb=%d\n", *recall, derived.TauG, derived.TauB)
+		fmt.Printf("chosen plan: %s (predicted good=%.0f bad=%.0f time=%.0f)\n",
+			best.Plan, best.EstimatedGood, best.EstimatedBad, best.EstimatedTime)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func report(out *joinopt.Outcome, show int) {
+	if out == nil {
+		fmt.Println("no execution outcome")
+		return
+	}
+	fmt.Printf("\nactual output: good=%d bad=%d (precision %.2f)\n",
+		out.GoodTuples, out.BadTuples,
+		float64(out.GoodTuples)/float64(max(1, out.GoodTuples+out.BadTuples)))
+	fmt.Printf("work: processed=%v retrieved=%v queries=%v time=%.0f\n",
+		out.DocsProcessed, out.DocsRetrieved, out.Queries, out.Time)
+	tuples := out.Tuples()
+	if show > len(tuples) {
+		show = len(tuples)
+	}
+	if show > 0 {
+		fmt.Printf("sample join tuples (%d of %d):\n", show, len(tuples))
+		for _, t := range tuples[:show] {
+			label := "good"
+			if !t.Good {
+				label = "bad "
+			}
+			fmt.Printf("  [%s] <%s, %s, %s>\n", label, t.A, t.B, t.C)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "joinopt:", err)
+	os.Exit(1)
+}

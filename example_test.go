@@ -1,0 +1,63 @@
+package joinopt_test
+
+import (
+	"fmt"
+	"log"
+
+	"joinopt"
+)
+
+// Building a task wires two synthetic text databases, their IE systems,
+// trained retrieval machinery, and gold labels for evaluation.
+func ExampleNewHQJoinEX() {
+	task, err := joinopt.NewHQJoinEX(joinopt.WorkloadParams{NumDocs: 800, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r1, r2 := task.Relations()
+	fmt.Println(r1)
+	fmt.Println(r2)
+	// Output:
+	// Headquarters(Company, Location)
+	// Executives(Company, CEO)
+}
+
+// Execute runs any plan of the space; the stop condition sees the live
+// output composition.
+func ExampleTask_Execute() {
+	task, err := joinopt.NewHQJoinEX(joinopt.WorkloadParams{NumDocs: 800, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := joinopt.Plan{
+		Algorithm: joinopt.IndependentJoin,
+		Theta:     [2]float64{0.4, 0.4},
+		X:         [2]joinopt.Strategy{joinopt.Scan, joinopt.Scan},
+	}
+	out, err := task.Execute(plan, func(p joinopt.Progress) bool {
+		return p.GoodTuples >= 4
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reached the good-tuple target:", out.GoodTuples >= 4)
+	fmt.Println("paid execution time:", out.Time > 0)
+	// Output:
+	// reached the good-tuple target: true
+	// paid execution time: true
+}
+
+// High-level preferences map onto the paper's low-level (τg, τb) model.
+func ExampleTask_OptimizePrecision() {
+	task, err := joinopt.NewHQJoinEX(joinopt.WorkloadParams{NumDocs: 800, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, req, err := task.OptimizePrecision(20, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("derived requirement: τg=%d τb=%d\n", req.TauG, req.TauB)
+	// Output:
+	// derived requirement: τg=20 τb=20
+}

@@ -1,0 +1,42 @@
+// Three-way join — the paper's stated future work, implemented as an
+// extension: Mergers ⋈ Headquarters ⋈ Executives on the shared Company
+// attribute answers "which companies merged, where are they headquartered,
+// and who runs them?" in one shot. The n-ary composition model predicts the
+// output quality of the 3-way independent join before running it.
+//
+//	go run ./examples/threeway
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"joinopt"
+)
+
+func main() {
+	task, err := joinopt.NewThreeWay(joinopt.WorkloadParams{NumDocs: 1500, Seed: 4}, "MG", "HQ", "EX")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rels := task.Relations()
+	fmt.Printf("three-way join: %s ⋈ %s ⋈ %s\n\n", rels[0], rels[1], rels[2])
+
+	for _, theta := range []float64{0.4, 0.8} {
+		predGood, predBad, err := task.Predict(theta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := task.Execute([3]float64{theta, theta, theta}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("minSim=%.1f: predicted good=%.0f bad=%.0f | actual good=%d bad=%d (time %.0f)\n",
+			theta, predGood, predBad, out.GoodTuples, out.BadTuples, out.Time)
+	}
+
+	fmt.Println("\nThe quality composition compounds across relations: a single bad")
+	fmt.Println("base tuple contaminates every 3-way combination it joins into, so")
+	fmt.Println("precision degrades faster than in the binary case — and the knob")
+	fmt.Println("setting matters even more.")
+}

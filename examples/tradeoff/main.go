@@ -1,0 +1,56 @@
+// Trade-off sweep: how the optimizer's plan choice migrates as the user's
+// quality requirement grows — from cheap query-based plans that sample a
+// few documents to scan-based plans that process whole databases (the
+// pattern of the paper's Table II).
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"joinopt"
+)
+
+func main() {
+	task, err := joinopt.NewHQJoinEX(joinopt.WorkloadParams{NumDocs: 2000, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gold join size: %d good tuples derivable at perfect extraction\n\n", task.GoldJoinSize())
+	fmt.Printf("%-6s %-6s  %-34s %10s %10s %10s\n", "τg", "τb", "chosen plan", "est good", "est bad", "est time")
+
+	for _, req := range []joinopt.Requirement{
+		{TauG: 2, TauB: 30},
+		{TauG: 8, TauB: 60},
+		{TauG: 32, TauB: 160},
+		{TauG: 96, TauB: 800},
+		{TauG: 200, TauB: 2000},
+	} {
+		best, err := task.Optimize(req)
+		if err != nil {
+			fmt.Printf("%-6d %-6d  no feasible plan: %v\n", req.TauG, req.TauB, err)
+			continue
+		}
+		fmt.Printf("%-6d %-6d  %-34s %10.0f %10.0f %10.0f\n",
+			req.TauG, req.TauB, best.Plan, best.EstimatedGood, best.EstimatedBad, best.EstimatedTime)
+	}
+
+	// Verify the cheapest and the costliest choices by executing them.
+	fmt.Println("\nexecuting the extremes:")
+	for _, req := range []joinopt.Requirement{{TauG: 2, TauB: 30}, {TauG: 200, TauB: 2000}} {
+		best, err := task.Optimize(req)
+		if err != nil {
+			continue
+		}
+		out, err := task.Execute(best.Plan, func(p joinopt.Progress) bool {
+			return p.GoodTuples >= req.TauG
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("τg=%-4d: %s → actual good=%d bad=%d time=%.0f (docs processed %v)\n",
+			req.TauG, best.Plan, out.GoodTuples, out.BadTuples, out.Time, out.DocsProcessed)
+	}
+}

@@ -1,0 +1,295 @@
+package corpus
+
+import (
+	"fmt"
+
+	"joinopt/internal/relation"
+	"joinopt/internal/stat"
+	"joinopt/internal/textgen"
+)
+
+// RelationSpec configures one extraction task hosted by a generated
+// database.
+type RelationSpec struct {
+	// Vocab is the task's linguistic profile (slots, cue patterns, cue-count
+	// distributions).
+	Vocab textgen.TaskVocab
+
+	// Schema names the extracted relation.
+	Schema relation.Schema
+
+	// GoodValues are the join-attribute values hosting good tuples; each
+	// value receives a power-law number of distinct good tuples, each
+	// expressed in exactly one document (the paper's "each attribute value
+	// appears only once in each document" simplification).
+	GoodValues []string
+
+	// BadValues host deceptive mentions producing bad tuples. A value may
+	// appear in both GoodValues and BadValues (like "Microsoft" in
+	// Figure 1 of the paper).
+	BadValues []string
+
+	// GoodSeconds and BadSeconds are disjoint pools for the second
+	// attribute, keeping bad tuples distinct from good ones.
+	GoodSeconds []string
+	BadSeconds  []string
+
+	// GoodFreq and BadFreq are the value-frequency distributions g(a), b(a).
+	GoodFreq *stat.PowerLaw
+	BadFreq  *stat.PowerLaw
+
+	// NumGoodDocs and NumBadDocs are |Dg| and |Db| targets for this task.
+	NumGoodDocs int
+	NumBadDocs  int
+
+	// BadInGoodRate is the probability that a bad mention is planted in a
+	// good document rather than a bad one (bad occurrences can be extracted
+	// from both good and bad documents, §V-C).
+	BadInGoodRate float64
+
+	// Outliers are additional bad values planted with high frequency
+	// (OutlierFreq documents each) whose mentions always realize a single
+	// cue term, so standard knob settings never extract them. These
+	// reproduce the paper's bad-tuple overestimation cases ("CNN Center",
+	// §VII).
+	Outliers    []string
+	OutlierFreq int
+}
+
+// Config configures a synthetic text database.
+type Config struct {
+	Name      string
+	NumDocs   int
+	Seed      int64
+	Relations []RelationSpec
+
+	// CasualRate is the probability that a document with no task mentions
+	// name-drops one or two entities from CasualPool with no relation
+	// context. Casual mentions make keyword queries imperfect (P(q) < 1):
+	// query-based retrieval pays for junk documents that yield no tuples.
+	CasualRate float64
+	CasualPool []string
+}
+
+// pendingMention is a mention waiting for document assignment.
+type pendingMention struct {
+	m       Mention
+	outlier bool
+}
+
+// Generate builds a database from cfg. It validates the configuration and
+// returns an error describing the first violated constraint.
+func Generate(cfg Config) (*DB, error) {
+	if cfg.NumDocs <= 0 {
+		return nil, fmt.Errorf("corpus: NumDocs must be positive, got %d", cfg.NumDocs)
+	}
+	if len(cfg.Relations) == 0 {
+		return nil, fmt.Errorf("corpus: at least one relation spec required")
+	}
+	rng := stat.NewRNG(cfg.Seed)
+
+	db := &DB{
+		Name:  cfg.Name,
+		Docs:  make([]*Document, cfg.NumDocs),
+		golds: map[string]*relation.Gold{},
+		stats: map[string]*TaskStats{},
+	}
+	for i := range db.Docs {
+		db.Docs[i] = &Document{ID: i}
+	}
+	// sentences[i] collects the rendered sentences of document i.
+	sentences := make([][]textgen.Sentence, cfg.NumDocs)
+
+	for ri := range cfg.Relations {
+		spec := &cfg.Relations[ri]
+		if err := validateSpec(spec, cfg.NumDocs); err != nil {
+			return nil, err
+		}
+		gold := relation.NewGold(spec.Schema)
+		db.golds[spec.Vocab.Task] = gold
+		r := rng.Fork()
+
+		good, bad, err := buildMentions(r, spec, gold)
+		if err != nil {
+			return nil, err
+		}
+		if err := placeMentions(r, spec, cfg.NumDocs, good, bad, db, sentences); err != nil {
+			return nil, err
+		}
+	}
+
+	// Filler, casual mentions, and rendering.
+	renderDocs(rng, cfg, db, sentences)
+
+	for task := range db.golds {
+		db.stats[task] = computeStats(task, db.Docs)
+	}
+	return db, nil
+}
+
+func validateSpec(spec *RelationSpec, numDocs int) error {
+	t := spec.Vocab.Task
+	if t == "" {
+		return fmt.Errorf("corpus: relation spec missing task vocabulary")
+	}
+	if spec.NumGoodDocs <= 0 || spec.NumBadDocs < 0 {
+		return fmt.Errorf("corpus: task %s: invalid doc counts good=%d bad=%d", t, spec.NumGoodDocs, spec.NumBadDocs)
+	}
+	if spec.NumGoodDocs+spec.NumBadDocs > numDocs {
+		return fmt.Errorf("corpus: task %s: good+bad docs %d exceed corpus size %d",
+			t, spec.NumGoodDocs+spec.NumBadDocs, numDocs)
+	}
+	if len(spec.GoodValues) == 0 {
+		return fmt.Errorf("corpus: task %s: no good values", t)
+	}
+	if spec.GoodFreq == nil || (spec.BadFreq == nil && len(spec.BadValues) > 0) {
+		return fmt.Errorf("corpus: task %s: missing frequency distributions", t)
+	}
+	if len(spec.GoodSeconds) == 0 || (len(spec.BadValues)+len(spec.Outliers) > 0 && len(spec.BadSeconds) == 0) {
+		return fmt.Errorf("corpus: task %s: missing second-attribute pools", t)
+	}
+	return nil
+}
+
+// buildMentions samples tuple frequencies, registers gold tuples, and
+// returns the pending good and bad mentions.
+func buildMentions(r *stat.RNG, spec *RelationSpec, gold *relation.Gold) (good, bad []pendingMention, err error) {
+	task := spec.Vocab.Task
+	for _, a := range spec.GoodValues {
+		f := spec.GoodFreq.Sample(r)
+		if f > spec.NumGoodDocs {
+			f = spec.NumGoodDocs
+		}
+		if f > len(spec.GoodSeconds) {
+			f = len(spec.GoodSeconds)
+		}
+		seconds := textgen.SampleDistinct(r, spec.GoodSeconds, f)
+		for _, b := range seconds {
+			if b == a {
+				continue // self-pair (possible for company-company tasks)
+			}
+			tup := relation.Tuple{A1: a, A2: b}
+			gold.AddGood(tup)
+			good = append(good, pendingMention{m: Mention{Task: task, Tuple: tup, Good: true}})
+		}
+	}
+	if len(good) < spec.NumGoodDocs {
+		return nil, nil, fmt.Errorf("corpus: task %s: %d good mentions cannot cover %d good docs; increase values or frequency",
+			task, len(good), spec.NumGoodDocs)
+	}
+	addBad := func(a string, f int, outlier bool) {
+		if f > len(spec.BadSeconds) {
+			f = len(spec.BadSeconds)
+		}
+		seconds := textgen.SampleDistinct(r, spec.BadSeconds, f)
+		for _, b := range seconds {
+			if b == a {
+				continue
+			}
+			tup := relation.Tuple{A1: a, A2: b}
+			gold.AddBad(tup)
+			bad = append(bad, pendingMention{m: Mention{Task: task, Tuple: tup, Good: false}, outlier: outlier})
+		}
+	}
+	for _, a := range spec.BadValues {
+		addBad(a, spec.BadFreq.Sample(r), false)
+	}
+	for _, a := range spec.Outliers {
+		f := spec.OutlierFreq
+		if f <= 0 {
+			f = 1
+		}
+		addBad(a, f, true)
+	}
+	if spec.NumBadDocs > 0 && len(bad) < spec.NumBadDocs {
+		return nil, nil, fmt.Errorf("corpus: task %s: %d bad mentions cannot cover %d bad docs",
+			task, len(bad), spec.NumBadDocs)
+	}
+	return good, bad, nil
+}
+
+// placeMentions assigns mentions to documents and renders their sentences.
+// Good docs each receive at least one good mention; bad docs receive only
+// bad mentions; extra bad mentions spill into good docs at BadInGoodRate.
+func placeMentions(r *stat.RNG, spec *RelationSpec, numDocs int, good, bad []pendingMention, db *DB, sentences [][]textgen.Sentence) error {
+	perm := r.Perm(numDocs)
+	goodDocs := perm[:spec.NumGoodDocs]
+	badDocs := perm[spec.NumGoodDocs : spec.NumGoodDocs+spec.NumBadDocs]
+
+	// valueInDoc enforces the one-occurrence-per-value-per-document
+	// simplification the models rely on.
+	valueInDoc := map[int]map[string]bool{}
+	place := func(docID int, pm pendingMention) bool {
+		vals := valueInDoc[docID]
+		if vals == nil {
+			vals = map[string]bool{}
+			valueInDoc[docID] = vals
+		}
+		if vals[pm.m.Tuple.A1] {
+			return false
+		}
+		vals[pm.m.Tuple.A1] = true
+		doc := db.Docs[docID]
+		doc.Mentions = append(doc.Mentions, pm.m)
+		var sent textgen.Sentence
+		if pm.outlier {
+			sent = textgen.MentionSentenceK(r, spec.Vocab, pm.m.Tuple.A1, pm.m.Tuple.A2, 1)
+		} else {
+			sent = textgen.MentionSentence(r, spec.Vocab, pm.m.Tuple.A1, pm.m.Tuple.A2, pm.m.Good)
+		}
+		sentences[docID] = append(sentences[docID], sent)
+		return true
+	}
+	placeRandom := func(pm pendingMention, pool []int) {
+		for attempt := 0; attempt < 50; attempt++ {
+			if place(pool[r.Intn(len(pool))], pm) {
+				return
+			}
+		}
+		// Extremely unlikely with sane configurations; drop the mention
+		// rather than violate the one-per-document invariant. Stats are
+		// computed from placed mentions, so models stay consistent.
+	}
+
+	r.Shuffle(len(good), func(i, j int) { good[i], good[j] = good[j], good[i] })
+	for i, pm := range good {
+		if i < len(goodDocs) {
+			place(goodDocs[i], pm)
+		} else {
+			placeRandom(pm, goodDocs)
+		}
+	}
+	r.Shuffle(len(bad), func(i, j int) { bad[i], bad[j] = bad[j], bad[i] })
+	for i, pm := range bad {
+		switch {
+		case i < len(badDocs):
+			place(badDocs[i], pm)
+		case len(badDocs) > 0 && !r.Bernoulli(spec.BadInGoodRate):
+			placeRandom(pm, badDocs)
+		default:
+			placeRandom(pm, goodDocs)
+		}
+	}
+	return nil
+}
+
+// renderDocs adds filler sentences (and casual mentions to all-task-empty
+// documents), shuffles sentence order, and renders document text.
+func renderDocs(rng *stat.RNG, cfg Config, db *DB, sentences [][]textgen.Sentence) {
+	r := rng.Fork()
+	for i, doc := range db.Docs {
+		s := sentences[i]
+		if len(doc.Mentions) == 0 && len(cfg.CasualPool) > 0 && r.Bernoulli(cfg.CasualRate) {
+			n := 1 + r.Intn(2)
+			for c := 0; c < n; c++ {
+				s = append(s, textgen.CasualSentence(r, cfg.CasualPool[r.Intn(len(cfg.CasualPool))]))
+			}
+		}
+		nFiller := 2 + r.Intn(3)
+		for f := 0; f < nFiller; f++ {
+			s = append(s, textgen.FillerSentence(r))
+		}
+		r.Shuffle(len(s), func(a, b int) { s[a], s[b] = s[b], s[a] })
+		doc.Text = textgen.Render(s)
+	}
+}

@@ -1,0 +1,49 @@
+package estimate
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Cross-validation robustness checking (§VI: the optimizer proceeds "while
+// checking for robustness using cross-validation"): the observed values are
+// split deterministically into two halves, the MLE runs on each half, and
+// the divergence of the fitted parameters measures how trustworthy the
+// estimates are. A small window with unstable estimates diverges; the
+// adaptive optimizer extends its pilot until the fit stabilizes.
+
+// CrossValidate estimates on two deterministic halves of the observation's
+// value set and returns a divergence score in [0, ∞): 0 means the halves
+// agree perfectly; values above ~0.4 indicate an unreliable fit. The score
+// averages the relative disagreement of the fitted exponent, the mixture
+// weight, and the (half-)population sizes.
+func CrossValidate(obs Observation) (float64, error) {
+	half := [2]Observation{obs, obs}
+	half[0].ValueCounts = map[string]int{}
+	half[1].ValueCounts = map[string]int{}
+	for v, c := range obs.ValueCounts {
+		h := fnv.New32a()
+		h.Write([]byte(v))
+		half[h.Sum32()&1].ValueCounts[v] = c
+	}
+	var ests [2]*Estimated
+	for i := 0; i < 2; i++ {
+		e, err := Estimate(half[i])
+		if err != nil {
+			return 0, fmt.Errorf("estimate: cross-validation half %d: %w", i+1, err)
+		}
+		ests[i] = e
+	}
+	relDiff := func(a, b float64) float64 {
+		m := (math.Abs(a) + math.Abs(b)) / 2
+		if m == 0 {
+			return 0
+		}
+		return math.Abs(a-b) / m
+	}
+	d := relDiff(ests[0].AlphaGood, ests[1].AlphaGood)
+	d += relDiff(ests[0].GoodShare, ests[1].GoodShare)
+	d += relDiff(float64(ests[0].Params.Ag+ests[0].Params.Ab), float64(ests[1].Params.Ag+ests[1].Params.Ab))
+	return d / 3, nil
+}

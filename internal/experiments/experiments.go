@@ -1,0 +1,74 @@
+// Package experiments implements the drivers that regenerate every table
+// and figure of the paper's evaluation (§VII) on the synthetic workloads:
+// Figures 9-11 (estimated vs actual good/bad join tuples for IDJN, OIJN,
+// ZGJN), Figure 12 (estimated vs actual documents retrieved by ZGJN), and
+// Table II (the optimizer's plan choices across τg/τb requirements compared
+// against every alternative plan's actual execution time).
+package experiments
+
+import (
+	"fmt"
+
+	"joinopt/internal/join"
+	"joinopt/internal/optimizer"
+	"joinopt/internal/workload"
+)
+
+// TrajPoint is one step of an execution trajectory: the cumulated work,
+// cost-model time, and true output composition after the step.
+type TrajPoint struct {
+	Time      float64
+	Good, Bad int
+	Processed [2]int
+	Retrieved [2]int
+	Queries   [2]int
+}
+
+// Trajectory runs an executor to exhaustion, recording one point per step.
+// The actual curves of every figure and the candidate-plan comparisons of
+// Table II are derived from trajectories.
+func Trajectory(exec join.Executor) ([]TrajPoint, error) {
+	var out []TrajPoint
+	record := func(st *join.State) {
+		out = append(out, TrajPoint{
+			Time: st.Time, Good: st.GoodPairs, Bad: st.BadPairs,
+			Processed: st.DocsProcessed, Retrieved: st.DocsRetrieved, Queries: st.Queries,
+		})
+	}
+	for {
+		ok, err := exec.Step()
+		if err != nil {
+			return out, err
+		}
+		record(exec.State())
+		if !ok {
+			return out, nil
+		}
+	}
+}
+
+// at returns the first trajectory point where the given progress function
+// reaches target, or the last point when the run ends earlier.
+func at(traj []TrajPoint, target int, progress func(TrajPoint) int) TrajPoint {
+	for _, p := range traj {
+		if progress(p) >= target {
+			return p
+		}
+	}
+	if len(traj) == 0 {
+		return TrajPoint{}
+	}
+	return traj[len(traj)-1]
+}
+
+// Percents are the x-axis positions of the figures: 10%..100% of effort.
+var Percents = []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// newExec builds an executor or fails the experiment with context.
+func newExec(w *workload.Workload, plan optimizer.PlanSpec) (join.Executor, error) {
+	e, err := w.NewExecutor(plan)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building %s: %w", plan, err)
+	}
+	return e, nil
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"joinopt/internal/eval"
+	"joinopt/internal/model"
+	"joinopt/internal/optimizer"
+	"joinopt/internal/retrieval"
+	"joinopt/internal/workload"
+)
+
+// theta04 is the knob setting of the paper's model-accuracy figures.
+const theta04 = 0.4
+
+// Fig9 reproduces Figure 9: estimated and actual numbers of good (a) and
+// bad (b) join tuples for the workload's task pair using IDJN with Scan on
+// both sides and minSim = 0.4, as a function of the percentage of documents
+// processed.
+func Fig9(w *workload.Workload) (*eval.Figure, error) { return Fig9Theta(w, theta04) }
+
+// Fig9Theta is Fig9 at an arbitrary knob setting.
+func Fig9Theta(w *workload.Workload, theta float64) (*eval.Figure, error) {
+	p1, err := w.TrueParams(0, theta)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := w.TrueParams(1, theta)
+	if err != nil {
+		return nil, err
+	}
+	m := &model.IDJNModel{P1: p1, P2: p2, X1: retrieval.SC, X2: retrieval.SC, Ov: w.TrueOverlaps()}
+
+	plan := optimizer.PlanSpec{JN: optimizer.IDJN, Theta: [2]float64{theta, theta},
+		X: [2]retrieval.Kind{retrieval.SC, retrieval.SC}}
+	exec, err := newExec(w, plan)
+	if err != nil {
+		return nil, err
+	}
+	traj, err := Trajectory(exec)
+	if err != nil {
+		return nil, err
+	}
+
+	good := eval.Series{Label: fmt.Sprintf("(a) good join tuples, IDJN/Scan θ=%.1f", theta), XLabel: "% docs processed"}
+	bad := eval.Series{Label: fmt.Sprintf("(b) bad join tuples, IDJN/Scan θ=%.1f", theta), XLabel: "% docs processed"}
+	for _, pct := range Percents {
+		dr := w.DB[0].Size() * pct / 100
+		act := at(traj, dr, func(p TrajPoint) int { return p.Retrieved[0] })
+		est, err := m.Estimate(dr, dr)
+		if err != nil {
+			return nil, err
+		}
+		good.Points = append(good.Points, eval.Point{X: float64(pct), Est: est.Good, Act: float64(act.Good)})
+		bad.Points = append(bad.Points, eval.Point{X: float64(pct), Est: est.Bad, Act: float64(act.Bad)})
+	}
+	return &eval.Figure{
+		ID:     "Figure 9",
+		Title:  fmt.Sprintf("Estimated vs actual join tuples for %s ⋈ %s, IDJN with Scan, minSim=%.1f", w.Task[0], w.Task[1], theta),
+		Series: []eval.Series{good, bad},
+	}, nil
+}
+
+// Fig10 reproduces Figure 10: the same comparison for OIJN with Scan for
+// the outer relation and value queries for the inner relation.
+func Fig10(w *workload.Workload) (*eval.Figure, error) { return Fig10Theta(w, theta04) }
+
+// Fig10Theta is Fig10 at an arbitrary knob setting.
+func Fig10Theta(w *workload.Workload, theta float64) (*eval.Figure, error) {
+	p1, err := w.TrueParams(0, theta)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := w.TrueParams(1, theta)
+	if err != nil {
+		return nil, err
+	}
+	m := &model.OIJNModel{
+		P1: p1, P2: p2, Ov: w.TrueOverlaps(), OuterIdx: 0, XOuter: retrieval.SC,
+		CasualHits: w.CasualHits(1), MentionedInner: w.MentionedDocs(1),
+	}
+	plan := optimizer.PlanSpec{JN: optimizer.OIJN, Theta: [2]float64{theta, theta},
+		X: [2]retrieval.Kind{retrieval.SC, ""}, OuterIdx: 0}
+	exec, err := newExec(w, plan)
+	if err != nil {
+		return nil, err
+	}
+	traj, err := Trajectory(exec)
+	if err != nil {
+		return nil, err
+	}
+
+	good := eval.Series{Label: fmt.Sprintf("(a) good join tuples, OIJN/Scan-outer θ=%.1f", theta), XLabel: "% outer docs processed"}
+	bad := eval.Series{Label: fmt.Sprintf("(b) bad join tuples, OIJN/Scan-outer θ=%.1f", theta), XLabel: "% outer docs processed"}
+	for _, pct := range Percents {
+		dr := w.DB[0].Size() * pct / 100
+		act := at(traj, dr, func(p TrajPoint) int { return p.Retrieved[0] })
+		est, err := m.Estimate(dr)
+		if err != nil {
+			return nil, err
+		}
+		good.Points = append(good.Points, eval.Point{X: float64(pct), Est: est.Good, Act: float64(act.Good)})
+		bad.Points = append(bad.Points, eval.Point{X: float64(pct), Est: est.Bad, Act: float64(act.Bad)})
+	}
+	return &eval.Figure{
+		ID:     "Figure 10",
+		Title:  fmt.Sprintf("Estimated vs actual join tuples for %s ⋈ %s, OIJN with Scan outer, minSim=%.1f", w.Task[0], w.Task[1], theta),
+		Series: []eval.Series{good, bad},
+	}, nil
+}
+
+// zgjnSetup builds the ZGJN model and a full trajectory of a seeded run.
+func zgjnSetup(w *workload.Workload, theta float64) (*model.ZGJNModel, []TrajPoint, error) {
+	p1, err := w.TrueParams(0, theta)
+	if err != nil {
+		return nil, nil, err
+	}
+	p2, err := w.TrueParams(1, theta)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := &model.ZGJNModel{
+		P1: p1, P2: p2, Ov: w.TrueOverlaps(),
+		Mentioned1: w.MentionedDocs(0), Mentioned2: w.MentionedDocs(1),
+	}
+	plan := optimizer.PlanSpec{JN: optimizer.ZGJN, Theta: [2]float64{theta, theta}}
+	exec, err := newExec(w, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	traj, err := Trajectory(exec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, traj, nil
+}
+
+// Fig11 reproduces Figure 11: estimated and actual good/bad join tuples for
+// ZGJN as a function of the percentage of documents processed (relative to
+// the zig-zag's total reach).
+func Fig11(w *workload.Workload) (*eval.Figure, error) { return Fig11Theta(w, theta04) }
+
+// Fig11Theta is Fig11 at an arbitrary knob setting.
+func Fig11Theta(w *workload.Workload, theta float64) (*eval.Figure, error) {
+	m, traj, err := zgjnSetup(w, theta)
+	if err != nil {
+		return nil, err
+	}
+	if len(traj) == 0 {
+		return nil, errEmptyTrajectory("ZGJN")
+	}
+	final := traj[len(traj)-1]
+	totalDocs := final.Processed[0] + final.Processed[1]
+
+	good := eval.Series{Label: fmt.Sprintf("(a) good join tuples, ZGJN θ=%.1f", theta), XLabel: "% docs processed"}
+	bad := eval.Series{Label: fmt.Sprintf("(b) bad join tuples, ZGJN θ=%.1f", theta), XLabel: "% docs processed"}
+	for _, pct := range Percents {
+		target := totalDocs * pct / 100
+		act := at(traj, target, func(p TrajPoint) int { return p.Processed[0] + p.Processed[1] })
+		est, err := m.EstimateAtDocs(act.Processed[0], act.Processed[1])
+		if err != nil {
+			return nil, err
+		}
+		good.Points = append(good.Points, eval.Point{X: float64(pct), Est: est.Good, Act: float64(act.Good)})
+		bad.Points = append(bad.Points, eval.Point{X: float64(pct), Est: est.Bad, Act: float64(act.Bad)})
+	}
+	return &eval.Figure{
+		ID:     "Figure 11",
+		Title:  fmt.Sprintf("Estimated vs actual join tuples for %s ⋈ %s, ZGJN, minSim=%.1f", w.Task[0], w.Task[1], theta),
+		Series: []eval.Series{good, bad},
+	}, nil
+}
+
+// Fig12 reproduces Figure 12: estimated and actual numbers of documents
+// retrieved by each relation for ZGJN, as a function of the percentage of
+// queries issued.
+func Fig12(w *workload.Workload) (*eval.Figure, error) {
+	m, traj, err := zgjnSetup(w, theta04)
+	if err != nil {
+		return nil, err
+	}
+	if len(traj) == 0 {
+		return nil, errEmptyTrajectory("ZGJN")
+	}
+	final := traj[len(traj)-1]
+
+	var series []eval.Series
+	for side := 0; side < 2; side++ {
+		label := "(a) documents retrieved by " + w.Task[0]
+		if side == 1 {
+			label = "(b) documents retrieved by " + w.Task[1]
+		}
+		s := eval.Series{Label: label, XLabel: "% queries issued"}
+		totalQ := final.Queries[side]
+		for _, pct := range Percents {
+			target := totalQ * pct / 100
+			if target < 1 {
+				target = 1
+			}
+			act := at(traj, target, func(p TrajPoint) int { return p.Queries[side] })
+			est, err := m.ReachDocs(side, act.Queries[side])
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, eval.Point{
+				X: float64(pct), Est: math.Round(est), Act: float64(act.Retrieved[side]),
+			})
+		}
+		series = append(series, s)
+	}
+	return &eval.Figure{
+		ID:     "Figure 12",
+		Title:  "Estimated vs actual documents retrieved by each relation for ZGJN",
+		Series: series,
+	}, nil
+}
+
+type errEmptyTrajectory string
+
+func (e errEmptyTrajectory) Error() string {
+	return "experiments: empty trajectory for " + string(e)
+}

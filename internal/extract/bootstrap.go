@@ -1,0 +1,287 @@
+package extract
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"joinopt/internal/corpus"
+	"joinopt/internal/relation"
+	"joinopt/internal/textgen"
+)
+
+// BootstrapConfig tunes Snowball-style pattern bootstrapping.
+type BootstrapConfig struct {
+	// Rounds of the seed → patterns → tuples → seed loop (default 3).
+	Rounds int
+	// MaxPatterns and PatternSize shape the learned pattern set
+	// (defaults 3 and 4).
+	MaxPatterns int
+	PatternSize int
+	// MinSim is the acceptance threshold used while harvesting candidate
+	// tuples during bootstrapping (default 0.4).
+	MinSim float64
+	// PromoteTop tuples (by confidence) join the seed set each round
+	// (default 10).
+	PromoteTop int
+}
+
+func (c *BootstrapConfig) defaults() {
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	if c.MaxPatterns <= 0 {
+		c.MaxPatterns = 3
+	}
+	if c.PatternSize <= 0 {
+		c.PatternSize = 4
+	}
+	if c.MinSim <= 0 {
+		c.MinSim = 0.4
+	}
+	if c.PromoteTop <= 0 {
+		c.PromoteTop = 10
+	}
+}
+
+// Bootstrap learns an extraction system Snowball-style from a handful of
+// seed tuples and an *unlabeled* corpus — the training regime of the
+// paper's underlying IE system [Agichtein & Gravano 2000]. Each round:
+//
+//  1. find the sentences expressing the current seed tuples (both entities
+//     present in slot order) and collect their context bags;
+//  2. learn pattern term-vectors from those contexts (term weight =
+//     within-seed-context frequency against the corpus background, grouped
+//     by co-occurrence);
+//  3. score every candidate pair in the corpus against the patterns and
+//     promote the most confident new tuples into the seed set.
+//
+// It returns the learned system and the final seed set. Labels (gold sets,
+// document classes) are never consulted.
+func Bootstrap(db *corpus.DB, vocab textgen.TaskVocab, tagger *Tagger, seeds []relation.Tuple, cfg BootstrapConfig) (*System, []relation.Tuple, error) {
+	cfg.defaults()
+	if len(seeds) == 0 {
+		return nil, nil, fmt.Errorf("extract: bootstrap needs seed tuples")
+	}
+	if tagger == nil {
+		return nil, nil, fmt.Errorf("extract: bootstrap needs a tagger")
+	}
+	scanner := &System{Task: vocab.Task, Slot1: vocab.Slot1, Slot2: vocab.Slot2, tagger: tagger}
+
+	// Pre-scan the corpus once: every sentence with a slot pair, its
+	// tuple, and its context bag.
+	type occurrence struct {
+		tuple relation.Tuple
+		ctx   map[string]int
+	}
+	var occs []occurrence
+	background := map[string]int{}
+	var backgroundTotal int
+	for _, doc := range db.Docs {
+		for _, tokens := range SplitSentences(doc.Text) {
+			entities, covered := tagger.Tag(tokens)
+			pairs := scanner.slotPairs(entities)
+			ctx := map[string]int{}
+			for i, tok := range tokens {
+				if !covered[i] {
+					ctx[tok]++
+					background[tok]++
+					backgroundTotal++
+				}
+			}
+			for _, pair := range pairs {
+				occs = append(occs, occurrence{tuple: pair, ctx: ctx})
+			}
+		}
+	}
+	if len(occs) == 0 {
+		return nil, nil, fmt.Errorf("extract: corpus has no candidate pairs to bootstrap from")
+	}
+
+	seedSet := map[relation.Tuple]bool{}
+	for _, s := range seeds {
+		seedSet[s] = true
+	}
+
+	var sys *System
+	for round := 0; round < cfg.Rounds; round++ {
+		// 1. Contexts of current seeds.
+		var seedCtx []map[string]int
+		for _, o := range occs {
+			if seedSet[o.tuple] {
+				seedCtx = append(seedCtx, o.ctx)
+			}
+		}
+		if len(seedCtx) == 0 {
+			return nil, nil, fmt.Errorf("extract: no seed tuple occurs in the corpus")
+		}
+		// 2. Learn patterns from seed contexts against the corpus
+		// background.
+		patterns := patternsFromContexts(seedCtx, background, backgroundTotal, cfg.MaxPatterns, cfg.PatternSize)
+		if len(patterns) == 0 {
+			return nil, nil, fmt.Errorf("extract: bootstrapping produced no patterns in round %d", round+1)
+		}
+		var err error
+		sys, err = NewSystem(vocab.Task, vocab.Slot1, vocab.Slot2, patterns, tagger)
+		if err != nil {
+			return nil, nil, err
+		}
+		if round == cfg.Rounds-1 {
+			break
+		}
+		// 3. Harvest and promote confident new tuples.
+		conf := map[relation.Tuple]float64{}
+		for _, o := range occs {
+			var total int
+			for _, c := range o.ctx {
+				total += c
+			}
+			best := 0.0
+			for _, p := range patterns {
+				if sc := p.Score(o.ctx, total); sc > best {
+					best = sc
+				}
+			}
+			if best >= cfg.MinSim && best > conf[o.tuple] {
+				conf[o.tuple] = best
+			}
+		}
+		type scored struct {
+			t relation.Tuple
+			c float64
+		}
+		var fresh []scored
+		for t, c := range conf {
+			if !seedSet[t] {
+				fresh = append(fresh, scored{t, c})
+			}
+		}
+		sort.Slice(fresh, func(i, j int) bool {
+			if fresh[i].c != fresh[j].c {
+				return fresh[i].c > fresh[j].c
+			}
+			if fresh[i].t.A1 != fresh[j].t.A1 {
+				return fresh[i].t.A1 < fresh[j].t.A1
+			}
+			return fresh[i].t.A2 < fresh[j].t.A2
+		})
+		for i := 0; i < len(fresh) && i < cfg.PromoteTop; i++ {
+			seedSet[fresh[i].t] = true
+		}
+	}
+
+	finalSeeds := make([]relation.Tuple, 0, len(seedSet))
+	for t := range seedSet {
+		finalSeeds = append(finalSeeds, t)
+	}
+	sort.Slice(finalSeeds, func(i, j int) bool {
+		if finalSeeds[i].A1 != finalSeeds[j].A1 {
+			return finalSeeds[i].A1 < finalSeeds[j].A1
+		}
+		return finalSeeds[i].A2 < finalSeeds[j].A2
+	})
+	return sys, finalSeeds, nil
+}
+
+// patternsFromContexts ranks terms by their log-lift over the corpus
+// background within the given contexts and groups the top terms into
+// pattern vectors by co-occurrence.
+func patternsFromContexts(contexts []map[string]int, background map[string]int, backgroundTotal, numPatterns, patternSize int) []Pattern {
+	termCount := map[string]int{}
+	termDF := map[string]int{} // contexts containing the term
+	var total int
+	cooc := map[[2]string]int{}
+	for _, ctx := range contexts {
+		terms := make([]string, 0, len(ctx))
+		for term, c := range ctx {
+			termCount[term] += c
+			termDF[term]++
+			total += c
+			terms = append(terms, term)
+		}
+		sort.Strings(terms)
+		for a := 0; a < len(terms); a++ {
+			for b := a + 1; b < len(terms); b++ {
+				cooc[[2]string{terms[a], terms[b]}]++
+			}
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	// Cue terms recur across seed contexts; incidental noise words rarely
+	// do. Require a minimum support once enough contexts are available.
+	minDF := 1
+	if len(contexts) >= 6 {
+		minDF = 2
+	}
+	type scoredTerm struct {
+		term  string
+		score float64
+	}
+	var ranked []scoredTerm
+	for term, c := range termCount {
+		if termDF[term] < minDF {
+			continue
+		}
+		pSeed := (float64(c) + 1) / (float64(total) + 2)
+		pBack := (float64(background[term]) + 1) / (float64(backgroundTotal) + 2)
+		ranked = append(ranked, scoredTerm{term: term, score: math.Log(pSeed / pBack)})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].term < ranked[j].term
+	})
+	limit := numPatterns * patternSize * 2
+	if limit > len(ranked) {
+		limit = len(ranked)
+	}
+	top := ranked[:limit]
+
+	used := map[string]bool{}
+	coocOf := func(a, b string) int {
+		if a > b {
+			a, b = b, a
+		}
+		return cooc[[2]string{a, b}]
+	}
+	var patterns []Pattern
+	for len(patterns) < numPatterns {
+		seed := ""
+		for _, s := range top {
+			if !used[s.term] && s.score > 0 {
+				seed = s.term
+				break
+			}
+		}
+		if seed == "" {
+			break
+		}
+		used[seed] = true
+		group := []string{seed}
+		for len(group) < patternSize {
+			best, bestC := "", -1
+			for _, s := range top {
+				if used[s.term] || s.score <= 0 {
+					continue
+				}
+				c := 0
+				for _, g := range group {
+					c += coocOf(s.term, g)
+				}
+				if c > bestC {
+					best, bestC = s.term, c
+				}
+			}
+			if best == "" {
+				break
+			}
+			used[best] = true
+			group = append(group, best)
+		}
+		patterns = append(patterns, NewPattern(group))
+	}
+	return patterns
+}

@@ -1,0 +1,124 @@
+package extract
+
+import (
+	"sort"
+	"testing"
+
+	"joinopt/internal/corpus"
+	"joinopt/internal/relation"
+	"joinopt/internal/textgen"
+)
+
+// bootstrapSeeds picks the most prominent gold good tuples (highest value
+// frequency, deterministic order), simulating the handful of well-known
+// hand-curated seeds Snowball starts from.
+func bootstrapSeeds(t *testing.T, db *corpus.DB, task string, n int) []relation.Tuple {
+	t.Helper()
+	gold := db.Gold(task)
+	freq := db.Stats(task).GoodFreq
+	out := make([]relation.Tuple, 0, len(gold.Good))
+	for tup := range gold.Good {
+		out = append(out, tup)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if freq[out[i].A1] != freq[out[j].A1] {
+			return freq[out[i].A1] > freq[out[j].A1]
+		}
+		if out[i].A1 != out[j].A1 {
+			return out[i].A1 < out[j].A1
+		}
+		return out[i].A2 < out[j].A2
+	})
+	if len(out) < n {
+		t.Fatalf("only %d gold tuples available", len(out))
+	}
+	return out[:n]
+}
+
+func TestBootstrapLearnsCuePatterns(t *testing.T) {
+	db, g := testCorpus(t, 21)
+	tagger := NewTagger(g)
+	seeds := bootstrapSeeds(t, db, "HQ", 5)
+	sys, finalSeeds, err := Bootstrap(db, textgen.VocabHQ, tagger, seeds, BootstrapConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cues := textgen.VocabHQ.CueTermSet()
+	hits := 0
+	for _, p := range sys.Patterns {
+		for _, term := range p.Terms {
+			if cues[term] {
+				hits++
+			}
+		}
+	}
+	if hits < 4 {
+		t.Errorf("bootstrapping recovered only %d cue terms: %v", hits, sys.Patterns)
+	}
+	if len(finalSeeds) <= len(seeds) {
+		t.Errorf("no tuples promoted: %d seeds after %d rounds", len(finalSeeds), 3)
+	}
+}
+
+func TestBootstrapSystemExtractsWell(t *testing.T) {
+	db, g := testCorpus(t, 22)
+	tagger := NewTagger(g)
+	seeds := bootstrapSeeds(t, db, "HQ", 5)
+	sys, _, err := Bootstrap(db, textgen.VocabHQ, tagger, seeds, BootstrapConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := MeasureRates(sys, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates.TP(0.4) < 0.5 {
+		t.Errorf("bootstrapped system tp(0.4) = %v, too weak", rates.TP(0.4))
+	}
+	if rates.FP(0.4) >= rates.TP(0.4) {
+		t.Errorf("bootstrapped system does not separate: tp %v fp %v", rates.TP(0.4), rates.FP(0.4))
+	}
+}
+
+func TestBootstrapPromotionGrowsSeeds(t *testing.T) {
+	db, g := testCorpus(t, 23)
+	tagger := NewTagger(g)
+	seeds := bootstrapSeeds(t, db, "HQ", 5)
+	_, grown, err := Bootstrap(db, textgen.VocabHQ, tagger, seeds,
+		BootstrapConfig{Rounds: 3, PromoteTop: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two promotion rounds of up to 8 tuples each.
+	if len(grown) < len(seeds)+4 || len(grown) > len(seeds)+16 {
+		t.Errorf("seed growth %d -> %d outside expected range", len(seeds), len(grown))
+	}
+	// The promoted tuples should be mostly genuine (good per gold).
+	gold := db.Gold("HQ")
+	good := 0
+	for _, tup := range grown {
+		if gold.IsGood(tup) {
+			good++
+		}
+	}
+	if frac := float64(good) / float64(len(grown)); frac < 0.6 {
+		t.Errorf("only %.0f%% of the grown seed set is genuine", frac*100)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	db, g := testCorpus(t, 24)
+	tagger := NewTagger(g)
+	if _, _, err := Bootstrap(db, textgen.VocabHQ, tagger, nil, BootstrapConfig{}); err == nil {
+		t.Error("expected error for empty seeds")
+	}
+	if _, _, err := Bootstrap(db, textgen.VocabHQ, nil,
+		[]relation.Tuple{{A1: "x", A2: "y"}}, BootstrapConfig{}); err == nil {
+		t.Error("expected error for nil tagger")
+	}
+	// Seeds that never occur in the corpus.
+	ghost := []relation.Tuple{{A1: "No Such Company", A2: "Nowhere"}}
+	if _, _, err := Bootstrap(db, textgen.VocabHQ, tagger, ghost, BootstrapConfig{}); err == nil {
+		t.Error("expected error for unoccurring seeds")
+	}
+}

@@ -1,0 +1,218 @@
+package extract
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"joinopt/internal/relation"
+	"joinopt/internal/textgen"
+)
+
+// Pattern is an extraction pattern: a term vector with uniform weights, as
+// learned by Snowball-style bootstrapping. A candidate tuple's context is
+// scored by cosine similarity against each pattern; the best score is
+// compared to the minSim knob.
+type Pattern struct {
+	Terms []string
+
+	norm float64
+	set  map[string]bool
+}
+
+// NewPattern builds a pattern from cue terms.
+func NewPattern(terms []string) Pattern {
+	p := Pattern{Terms: terms, set: map[string]bool{}}
+	for _, t := range terms {
+		p.set[t] = true
+	}
+	p.norm = math.Sqrt(float64(len(p.set)))
+	return p
+}
+
+// Score returns the cosine similarity between the pattern and a context
+// bag-of-words with the given total token count.
+func (p Pattern) Score(context map[string]int, contextLen int) float64 {
+	if contextLen == 0 || p.norm == 0 {
+		return 0
+	}
+	var dot float64
+	var sq float64
+	for term, c := range context {
+		sq += float64(c) * float64(c)
+		if p.set[term] {
+			dot += float64(c)
+		}
+	}
+	if dot == 0 {
+		return 0
+	}
+	return dot / (p.norm * math.Sqrt(sq))
+}
+
+// Candidate is a scored candidate tuple found in a document.
+type Candidate struct {
+	Tuple relation.Tuple
+	Score float64
+}
+
+// System is a configured IE system for one extraction task: E in the
+// paper's notation. Its knob θ (minSim) is supplied per extraction call, so
+// one System serves every knob configuration of a plan space.
+type System struct {
+	Task     string
+	Slot1    textgen.EntityType
+	Slot2    textgen.EntityType
+	Patterns []Pattern
+
+	tagger *Tagger
+
+	cacheMu sync.RWMutex
+	cache   map[string][]Candidate
+}
+
+// EnableCache memoizes candidate extraction per document text. Tagging and
+// scoring dominate extraction cost; plan sweeps that process the same
+// documents under many knob settings reuse the scored candidates and apply
+// only the threshold. The cache is guarded, so concurrent executions over
+// the same System are safe.
+func (s *System) EnableCache() {
+	s.cacheMu.Lock()
+	if s.cache == nil {
+		s.cache = map[string][]Candidate{}
+	}
+	s.cacheMu.Unlock()
+}
+
+// NewSystem builds an IE system with the given task slots and patterns over
+// a tagger.
+func NewSystem(task string, slot1, slot2 textgen.EntityType, patterns []Pattern, tagger *Tagger) (*System, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("extract: system %s needs at least one pattern", task)
+	}
+	if tagger == nil {
+		return nil, fmt.Errorf("extract: system %s needs a tagger", task)
+	}
+	return &System{Task: task, Slot1: slot1, Slot2: slot2, Patterns: patterns, tagger: tagger}, nil
+}
+
+// NewSystemFromVocab builds an IE system directly from a task vocabulary,
+// using the vocabulary's cue patterns as the extraction patterns — the
+// configuration the standard workloads use.
+func NewSystemFromVocab(v textgen.TaskVocab, tagger *Tagger) (*System, error) {
+	patterns := make([]Pattern, len(v.Patterns))
+	for i, terms := range v.Patterns {
+		patterns[i] = NewPattern(terms)
+	}
+	return NewSystem(v.Task, v.Slot1, v.Slot2, patterns, tagger)
+}
+
+// Candidates scans text and returns every candidate tuple with its score,
+// before thresholding. Extract applies the knob; Candidates is exposed for
+// rate measurement and training. The returned slice must not be modified
+// when the cache is enabled.
+func (s *System) Candidates(text string) []Candidate {
+	s.cacheMu.RLock()
+	cached := s.cache != nil
+	if cached {
+		if c, ok := s.cache[text]; ok {
+			s.cacheMu.RUnlock()
+			return c
+		}
+	}
+	s.cacheMu.RUnlock()
+	out := s.Scan(text)
+	if cached {
+		s.cacheMu.Lock()
+		s.cache[text] = out
+		s.cacheMu.Unlock()
+	}
+	return out
+}
+
+// Scan performs the actual sentence-level extraction pass, bypassing the
+// candidate cache (cost calibration measures the real pipeline with it).
+func (s *System) Scan(text string) []Candidate {
+	var out []Candidate
+	for _, tokens := range SplitSentences(text) {
+		entities, covered := s.tagger.Tag(tokens)
+		pairs := s.slotPairs(entities)
+		if len(pairs) == 0 {
+			continue
+		}
+		context := map[string]int{}
+		contextLen := 0
+		for i, tok := range tokens {
+			if !covered[i] {
+				context[tok]++
+				contextLen++
+			}
+		}
+		score := 0.0
+		for _, p := range s.Patterns {
+			if sc := p.Score(context, contextLen); sc > score {
+				score = sc
+			}
+		}
+		if score <= 0 {
+			continue
+		}
+		for _, pair := range pairs {
+			out = append(out, Candidate{Tuple: pair, Score: score})
+		}
+	}
+	return out
+}
+
+// slotPairs matches tagged entities to the task's slots: the first Slot1
+// entity paired with the first distinct Slot2 entity following it (or
+// anywhere in the sentence when none follows). Same-type tasks (e.g.
+// Mergers' Company-Company) pair the first two distinct companies in order.
+func (s *System) slotPairs(entities []Entity) []relation.Tuple {
+	if s.Slot1 == s.Slot2 {
+		var names []string
+		for _, e := range entities {
+			if e.Type == s.Slot1 && (len(names) == 0 || names[len(names)-1] != e.Name) {
+				names = append(names, e.Name)
+			}
+		}
+		if len(names) >= 2 && names[0] != names[1] {
+			return []relation.Tuple{{A1: names[0], A2: names[1]}}
+		}
+		return nil
+	}
+	var first1, first2 string
+	for _, e := range entities {
+		if e.Type == s.Slot1 && first1 == "" {
+			first1 = e.Name
+		}
+		if e.Type == s.Slot2 && first2 == "" {
+			first2 = e.Name
+		}
+	}
+	if first1 == "" || first2 == "" {
+		return nil
+	}
+	return []relation.Tuple{{A1: first1, A2: first2}}
+}
+
+// Extract runs the system over text at knob configuration theta (minSim)
+// and returns the emitted tuples, deduplicated, in deterministic order.
+func (s *System) Extract(text string, theta float64) []relation.Tuple {
+	seen := map[relation.Tuple]bool{}
+	var out []relation.Tuple
+	for _, c := range s.Candidates(text) {
+		if c.Score >= theta && !seen[c.Tuple] {
+			seen[c.Tuple] = true
+			out = append(out, c.Tuple)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A1 != out[j].A1 {
+			return out[i].A1 < out[j].A1
+		}
+		return out[i].A2 < out[j].A2
+	})
+	return out
+}

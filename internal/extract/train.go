@@ -1,0 +1,156 @@
+package extract
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"joinopt/internal/corpus"
+	"joinopt/internal/textgen"
+)
+
+// TrainPatterns learns extraction patterns for a task from a labelled
+// training database, Snowball-style: context terms that discriminate good
+// documents are selected by log-odds ratio and grouped into pattern vectors
+// by context co-occurrence. The paper trains Snowball on NYT96; workloads
+// here may either train on a held-out database or use the task vocabulary's
+// canonical patterns directly.
+func TrainPatterns(db *corpus.DB, vocab textgen.TaskVocab, tagger *Tagger, numPatterns, patternSize int) ([]Pattern, error) {
+	stats := db.Stats(vocab.Task)
+	if stats == nil {
+		return nil, fmt.Errorf("extract: training database %s does not host task %s", db.Name, vocab.Task)
+	}
+	if numPatterns <= 0 || patternSize <= 0 {
+		return nil, fmt.Errorf("extract: invalid pattern shape %dx%d", numPatterns, patternSize)
+	}
+	// A slot-pair scanner with a single all-accepting pattern: we only need
+	// candidate contexts here, not scores.
+	scanner := &System{Task: vocab.Task, Slot1: vocab.Slot1, Slot2: vocab.Slot2, tagger: tagger}
+
+	goodCtx := map[string]int{} // term -> count in good-document pair contexts
+	badCtx := map[string]int{}  // term -> count elsewhere
+	cooc := map[[2]string]int{} // co-occurrence within good contexts
+	var goodTotal, badTotal int // context token totals
+
+	for i, doc := range db.Docs {
+		contexts := pairContexts(scanner, doc.Text)
+		isGood := stats.Class[i] == corpus.Good
+		for _, ctx := range contexts {
+			terms := make([]string, 0, len(ctx))
+			for term, c := range ctx {
+				terms = append(terms, term)
+				if isGood {
+					goodCtx[term] += c
+					goodTotal += c
+				} else {
+					badCtx[term] += c
+					badTotal += c
+				}
+			}
+			if isGood {
+				sort.Strings(terms)
+				for a := 0; a < len(terms); a++ {
+					for b := a + 1; b < len(terms); b++ {
+						cooc[[2]string{terms[a], terms[b]}]++
+					}
+				}
+			}
+		}
+	}
+	if goodTotal == 0 {
+		return nil, fmt.Errorf("extract: no good pair contexts in training database %s", db.Name)
+	}
+
+	// Log-odds ratio with add-one smoothing.
+	type scored struct {
+		term  string
+		score float64
+	}
+	var ranked []scored
+	for term, gc := range goodCtx {
+		pg := (float64(gc) + 1) / (float64(goodTotal) + 2)
+		pb := (float64(badCtx[term]) + 1) / (float64(badTotal) + 2)
+		ranked = append(ranked, scored{term: term, score: math.Log(pg / pb)})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].term < ranked[j].term
+	})
+	limit := numPatterns * patternSize * 2
+	if limit > len(ranked) {
+		limit = len(ranked)
+	}
+	top := ranked[:limit]
+
+	// Greedy grouping by co-occurrence: seed with the best unused term, then
+	// attach the most co-occurring unused top terms.
+	used := map[string]bool{}
+	coocOf := func(a, b string) int {
+		if a > b {
+			a, b = b, a
+		}
+		return cooc[[2]string{a, b}]
+	}
+	var patterns []Pattern
+	for len(patterns) < numPatterns {
+		seed := ""
+		for _, s := range top {
+			if !used[s.term] {
+				seed = s.term
+				break
+			}
+		}
+		if seed == "" {
+			break
+		}
+		used[seed] = true
+		group := []string{seed}
+		for len(group) < patternSize {
+			best, bestC := "", -1
+			for _, s := range top {
+				if used[s.term] {
+					continue
+				}
+				c := 0
+				for _, g := range group {
+					c += coocOf(s.term, g)
+				}
+				if c > bestC {
+					best, bestC = s.term, c
+				}
+			}
+			if best == "" {
+				break
+			}
+			used[best] = true
+			group = append(group, best)
+		}
+		patterns = append(patterns, NewPattern(group))
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("extract: training produced no patterns")
+	}
+	return patterns, nil
+}
+
+// pairContexts returns the context bag of every sentence of text containing
+// a slot pair for the scanner's task.
+func pairContexts(scanner *System, text string) []map[string]int {
+	var out []map[string]int
+	for _, tokens := range SplitSentences(text) {
+		entities, covered := scanner.tagger.Tag(tokens)
+		if len(scanner.slotPairs(entities)) == 0 {
+			continue
+		}
+		ctx := map[string]int{}
+		for i, tok := range tokens {
+			if !covered[i] {
+				ctx[tok]++
+			}
+		}
+		out = append(out, ctx)
+	}
+	return out
+}

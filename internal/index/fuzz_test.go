@@ -1,0 +1,60 @@
+package index
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// Fuzz targets run their seed corpus under plain `go test` and explore
+// further under `go test -fuzz`.
+
+func FuzzTokenize(f *testing.F) {
+	f.Add("Acme Dynamics opened offices")
+	f.Add("  ,.!  ")
+	f.Add("üñïçôdé  Text-42 with_mixed\tseparators")
+	f.Add(strings.Repeat("a", 10_000))
+	f.Fuzz(func(t *testing.T, text string) {
+		tokens := Tokenize(text)
+		for _, tok := range tokens {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range tok {
+				if unicode.IsUpper(r) {
+					t.Fatalf("token %q not lower-cased", tok)
+				}
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("token %q contains separator rune %q", tok, r)
+				}
+			}
+		}
+	})
+}
+
+func FuzzSearchIsSubsetOfMatches(f *testing.F) {
+	f.Add("alpha beta", "alpha")
+	f.Add("x y z", "y z")
+	f.Add("", "nothing")
+	f.Fuzz(func(t *testing.T, doc, query string) {
+		texts := []string{doc, doc + " extra", "unrelated filler words"}
+		ix := New(texts, 1)
+		q := Query{Terms: Tokenize(query)}
+		got := ix.Search(q)
+		if len(got) > 1 {
+			t.Fatalf("top-k cap violated: %v", got)
+		}
+		all := map[int]bool{}
+		for _, id := range ix.Matches(q) {
+			all[id] = true
+		}
+		for _, id := range got {
+			if !all[id] {
+				t.Fatalf("search result %d not among matches", id)
+			}
+			if id < 0 || id >= len(texts) {
+				t.Fatalf("result id %d out of range", id)
+			}
+		}
+	})
+}

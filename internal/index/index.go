@@ -1,0 +1,167 @@
+// Package index implements the keyword search interface of a text database:
+// a tokenizer, an inverted index over documents, and conjunctive keyword
+// queries with a configurable top-k result cap.
+//
+// The top-k cap models the search-interface limit the paper identifies as
+// the factor bounding the reach of query-based join algorithms (OIJN and
+// ZGJN, §IV-B/C): documents matching a query beyond the cap are simply not
+// returned and must be reached by other queries.
+package index
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Tokenize lower-cases text and splits it into letter/digit runs. It is the
+// single tokenization used by the index, the extraction engine, the
+// classifiers, and the query generator, so all components agree on terms.
+func Tokenize(text string) []string {
+	fields := strings.FieldsFunc(text, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	out := make([]string, len(fields))
+	for i, f := range fields {
+		out[i] = strings.ToLower(f)
+	}
+	return out
+}
+
+// Query is a conjunctive keyword query: a document matches iff it contains
+// every term.
+type Query struct {
+	Terms []string
+}
+
+// QueryFromValue builds the query an execution plan issues for an attribute
+// value: the conjunction of the value's tokens (e.g. "Acme Dynamics" →
+// [acme, dynamics]).
+func QueryFromValue(value string) Query {
+	return Query{Terms: Tokenize(value)}
+}
+
+// String renders the query as [t1 t2 ...].
+func (q Query) String() string { return "[" + strings.Join(q.Terms, " ") + "]" }
+
+// Index is an inverted index over a document collection with a top-k search
+// cap.
+type Index struct {
+	postings map[string][]int // term -> sorted doc IDs
+	numDocs  int
+	topK     int
+}
+
+// New builds an index over docs (ID i = docs[i]) returning at most topK
+// results per query. topK <= 0 means unlimited.
+func New(texts []string, topK int) *Index {
+	ix := &Index{postings: map[string][]int{}, numDocs: len(texts), topK: topK}
+	for id, text := range texts {
+		seen := map[string]bool{}
+		for _, tok := range Tokenize(text) {
+			if seen[tok] {
+				continue
+			}
+			seen[tok] = true
+			ix.postings[tok] = append(ix.postings[tok], id)
+		}
+	}
+	return ix
+}
+
+// TopK returns the configured result cap (0 = unlimited).
+func (ix *Index) TopK() int { return ix.topK }
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return ix.numDocs }
+
+// DocFreq returns the number of documents containing term.
+func (ix *Index) DocFreq(term string) int {
+	return len(ix.postings[strings.ToLower(term)])
+}
+
+// Matches returns every document matching q, ignoring the top-k cap. Model
+// parameter measurement uses it to compute H(q); executions must use Search.
+func (ix *Index) Matches(q Query) []int {
+	return ix.intersect(q)
+}
+
+// Search returns the documents matching q, capped at top-k. Ranking is by a
+// deterministic query-dependent score (a hash of the query terms and the
+// document ID), modelling a relevance-ranked search interface: distinct
+// queries surface distinct subsets of their matches, so overlapping queries
+// are conditionally independent samples of the match set — the assumption
+// behind the paper's query-retrieval analysis (Equation 2). Results are
+// returned in document-ID order.
+func (ix *Index) Search(q Query) []int {
+	res := ix.intersect(q)
+	if ix.topK > 0 && len(res) > ix.topK {
+		seed := fnv.New64a()
+		for _, t := range q.Terms {
+			seed.Write([]byte(t))
+			seed.Write([]byte{0})
+		}
+		base := seed.Sum64()
+		sort.Slice(res, func(i, j int) bool {
+			return docScore(base, res[i]) < docScore(base, res[j])
+		})
+		res = res[:ix.topK]
+		sort.Ints(res)
+	}
+	return res
+}
+
+// docScore hashes a (query, document) pair into a deterministic rank.
+func docScore(base uint64, docID int) uint64 {
+	x := base ^ (uint64(docID)*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+func (ix *Index) intersect(q Query) []int {
+	if len(q.Terms) == 0 {
+		return nil
+	}
+	lists := make([][]int, 0, len(q.Terms))
+	for _, t := range q.Terms {
+		l := ix.postings[strings.ToLower(t)]
+		if len(l) == 0 {
+			return nil
+		}
+		lists = append(lists, l)
+	}
+	// Intersect starting from the rarest list.
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	res := lists[0]
+	for _, l := range lists[1:] {
+		res = intersectSorted(res, l)
+		if len(res) == 0 {
+			return nil
+		}
+	}
+	// res aliases a posting list only when len(lists) == 1; copy for safety.
+	out := make([]int, len(res))
+	copy(out, res)
+	return out
+}
+
+func intersectSorted(a, b []int) []int {
+	out := a[:0:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+// Package join implements the three join execution algorithms of §IV over
+// extracted relations: the Independent Join (IDJN), the Outer/Inner Join
+// (OIJN), and the Zig-Zag Join (ZGJN). Executors advance in small steps so
+// that drivers — the experiments and the quality-aware optimizer — can
+// impose their own stopping policies (document budgets, estimated-quality
+// thresholds, adaptive re-optimization).
+package join
+
+import (
+	"fmt"
+
+	"joinopt/internal/corpus"
+	"joinopt/internal/extract"
+	"joinopt/internal/index"
+	"joinopt/internal/relation"
+	"joinopt/internal/retrieval"
+)
+
+// Costs are the per-operation execution-time constants of one database side:
+// tR (retrieve a document), tE (process a document with the IE system),
+// tF (filter a document with the FS classifier), tQ (issue a query). The
+// cost-model time of an execution is the paper's Time(S, D1, D2).
+type Costs struct {
+	TR float64
+	TE float64
+	TF float64
+	TQ float64
+}
+
+// DefaultCosts reflect that extraction dominates retrieval, filtering is
+// cheap, and querying costs roughly a retrieval round-trip.
+var DefaultCosts = Costs{TR: 1, TE: 5, TF: 0.1, TQ: 2}
+
+// Side bundles everything a join execution needs about one relation: the
+// hosting database, its search interface, the tuned IE system, the gold set
+// used to label output (evaluation only), and the per-operation costs.
+type Side struct {
+	DB     *corpus.DB
+	Index  *index.Index
+	System *extract.System
+	Theta  float64
+	Gold   *relation.Gold
+	Costs  Costs
+}
+
+// validate checks that the side is usable.
+func (s *Side) validate(i int) error {
+	if s.DB == nil || s.System == nil {
+		return fmt.Errorf("join: side %d missing database or IE system", i)
+	}
+	return nil
+}
+
+// State is the observable progress of a join execution: the two extracted
+// relations, the labelled join result, the pair-composition quality counts,
+// and the work/time accounting.
+type State struct {
+	R1, R2 *relation.Extracted
+	Result *relation.JoinResult
+
+	// GoodPairs is |Tgood⋈| under the paper's composition semantics:
+	// Σ_a gr1(a)·gr2(a) over join values (Equation 1). BadPairs is the
+	// complementary sum of mixed and bad-bad occurrence products.
+	GoodPairs int
+	BadPairs  int
+
+	// Per-side work counters, indexed 0 and 1.
+	DocsProcessed [2]int
+	DocsRetrieved [2]int
+	DocsFiltered  [2]int
+	Queries       [2]int
+
+	// YieldDocs counts processed documents that emitted at least one tuple;
+	// EmissionHist[i][k] counts side-i documents that emitted exactly k
+	// tuples. The on-the-fly parameter estimator consumes these.
+	YieldDocs    [2]int
+	EmissionHist [2][]int
+
+	// Time is the cost-model execution time accumulated so far.
+	Time float64
+
+	totalPairs int
+	golds      [2]*relation.Gold
+	rels       [2]*relation.Extracted
+	byVal      [2]map[string][]labeledTuple
+}
+
+// ValueCounts returns the label-free observed occurrence counts s(a) of side
+// i: the number of processed documents in which each join value was
+// extracted. The parameter estimator works from these counts without any
+// tuple verification.
+func (st *State) ValueCounts(i int) map[string]int {
+	out := map[string]int{}
+	rel := st.rels[i]
+	for _, v := range rel.JoinValues() {
+		out[v] = rel.GoodOcc(v) + rel.BadOcc(v)
+	}
+	return out
+}
+
+type labeledTuple struct {
+	t    relation.Tuple
+	good bool
+}
+
+// newState builds an empty state for two sides.
+func newState(s1, s2 *Side) *State {
+	schema1, schema2 := relation.Schema{Name: "R1"}, relation.Schema{Name: "R2"}
+	if s1.Gold != nil {
+		schema1 = s1.Gold.Schema
+	}
+	if s2.Gold != nil {
+		schema2 = s2.Gold.Schema
+	}
+	st := &State{
+		R1:     relation.NewExtracted(schema1, s1.Gold),
+		R2:     relation.NewExtracted(schema2, s2.Gold),
+		Result: relation.NewJoinResult(),
+		golds:  [2]*relation.Gold{s1.Gold, s2.Gold},
+	}
+	st.rels = [2]*relation.Extracted{st.R1, st.R2}
+	st.byVal = [2]map[string][]labeledTuple{{}, {}}
+	return st
+}
+
+// addTuple records one extracted occurrence on side i (0 or 1), updates the
+// pair-composition counters incrementally, and joins the tuple against the
+// other relation.
+func (st *State) addTuple(i int, t relation.Tuple) {
+	good := st.rels[i].Add(t)
+	other := st.rels[1-i]
+	a := t.A1
+
+	otherGood := other.GoodOcc(a)
+	otherTotal := otherGood + other.BadOcc(a)
+	st.totalPairs += otherTotal
+	if good {
+		st.GoodPairs += otherGood
+	}
+	st.BadPairs = st.totalPairs - st.GoodPairs
+
+	st.byVal[i][a] = append(st.byVal[i][a], labeledTuple{t: t, good: good})
+	for _, lt := range st.byVal[1-i][a] {
+		jt := relation.JoinTuple{A: a}
+		if i == 0 {
+			jt.B, jt.C = t.A2, lt.t.A2
+		} else {
+			jt.B, jt.C = lt.t.A2, t.A2
+		}
+		st.Result.Add(jt, good && lt.good)
+	}
+}
+
+// Executor is a stepwise join execution.
+type Executor interface {
+	// Step advances the execution by one unit of work. It returns false
+	// when the execution is exhausted (no more documents or queries).
+	Step() (bool, error)
+	// State returns the live execution state.
+	State() *State
+	// Algorithm names the join algorithm (IDJN, OIJN, ZGJN).
+	Algorithm() string
+}
+
+// StopFunc inspects the state after each step; returning true stops the run.
+type StopFunc func(*State) bool
+
+// Run advances the executor until it is exhausted or stop returns true. It
+// returns the final state.
+func Run(e Executor, stop StopFunc) (*State, error) {
+	for {
+		ok, err := e.Step()
+		if err != nil {
+			return e.State(), err
+		}
+		if !ok {
+			return e.State(), nil
+		}
+		if stop != nil && stop(e.State()) {
+			return e.State(), nil
+		}
+	}
+}
+
+// chargeStrategy folds the growth of a retrieval strategy's counters since
+// the last observation into the state's per-side accounting.
+func (st *State) chargeStrategy(i int, c Costs, prev, now retrieval.Counts) {
+	dRetr := now.Retrieved - prev.Retrieved
+	dFilt := now.Filtered - prev.Filtered
+	dQ := now.Queries - prev.Queries
+	st.DocsRetrieved[i] += dRetr
+	st.DocsFiltered[i] += dFilt
+	st.Queries[i] += dQ
+	st.Time += float64(dRetr)*c.TR + float64(dFilt)*c.TF + float64(dQ)*c.TQ
+}
+
+// processDoc runs the side's IE system over a document and records the
+// extracted tuples. It charges processing time and returns the tuples.
+func processDoc(st *State, i int, s *Side, docID int) []relation.Tuple {
+	doc := s.DB.Doc(docID)
+	tuples := s.System.Extract(doc.Text, s.Theta)
+	st.DocsProcessed[i]++
+	st.Time += s.Costs.TE
+	if len(tuples) > 0 {
+		st.YieldDocs[i]++
+	}
+	for len(st.EmissionHist[i]) <= len(tuples) {
+		st.EmissionHist[i] = append(st.EmissionHist[i], 0)
+	}
+	st.EmissionHist[i][len(tuples)]++
+	for _, t := range tuples {
+		st.addTuple(i, t)
+	}
+	return tuples
+}
+
+// texts extracts the raw document texts of a database, for index building.
+func texts(db *corpus.DB) []string {
+	out := make([]string, db.Size())
+	for i, d := range db.Docs {
+		out[i] = d.Text
+	}
+	return out
+}
+
+// BuildIndex constructs the search interface of a database with the given
+// top-k cap.
+func BuildIndex(db *corpus.DB, topK int) *index.Index {
+	return index.New(texts(db), topK)
+}

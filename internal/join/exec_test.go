@@ -1,0 +1,131 @@
+package join
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"joinopt/internal/relation"
+	"joinopt/internal/retrieval"
+)
+
+// newTestState builds a State over synthetic gold sets where values
+// "g0".."g4" are good on both sides and "b0".."b4" are bad on both sides.
+func newTestState() *State {
+	mkGold := func(name string) *relation.Gold {
+		g := relation.NewGold(relation.Schema{Name: name, Attr1: "A", Attr2: "B"})
+		for i := 0; i < 5; i++ {
+			for occ := 0; occ < 10; occ++ {
+				g.AddGood(relation.Tuple{A1: fmt.Sprintf("g%d", i), A2: fmt.Sprintf("x%d", occ)})
+				g.AddBad(relation.Tuple{A1: fmt.Sprintf("b%d", i), A2: fmt.Sprintf("y%d", occ)})
+			}
+		}
+		return g
+	}
+	s1 := &Side{Gold: mkGold("R1")}
+	s2 := &Side{Gold: mkGold("R2")}
+	return newState(s1, s2)
+}
+
+// TestStatePairInvariant is the core accounting property: after any
+// sequence of tuple additions, the incremental GoodPairs/BadPairs counters
+// equal the direct per-value occurrence products.
+func TestStatePairInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		st := newTestState()
+		for k, op := range ops {
+			side := int(op) & 1
+			good := op&2 != 0
+			val := int(op>>2) % 5
+			prefix := "g"
+			if !good {
+				prefix = "b"
+			}
+			st.addTuple(side, relation.Tuple{
+				A1: fmt.Sprintf("%s%d", prefix, val),
+				A2: fmt.Sprintf("%s%d", map[bool]string{true: "x", false: "y"}[good], k%10),
+			})
+		}
+		good, total := 0, 0
+		vals := map[string]bool{}
+		for _, v := range st.R1.JoinValues() {
+			vals[v] = true
+		}
+		for _, v := range st.R2.JoinValues() {
+			vals[v] = true
+		}
+		for v := range vals {
+			good += st.R1.GoodOcc(v) * st.R2.GoodOcc(v)
+			total += (st.R1.GoodOcc(v) + st.R1.BadOcc(v)) * (st.R2.GoodOcc(v) + st.R2.BadOcc(v))
+		}
+		return st.GoodPairs == good && st.BadPairs == total-good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateValueCountsLabelFree(t *testing.T) {
+	st := newTestState()
+	st.addTuple(0, relation.Tuple{A1: "g0", A2: "x0"})
+	st.addTuple(0, relation.Tuple{A1: "g0", A2: "x1"})
+	st.addTuple(0, relation.Tuple{A1: "b0", A2: "y0"})
+	counts := st.ValueCounts(0)
+	if counts["g0"] != 2 || counts["b0"] != 1 {
+		t.Errorf("value counts %v", counts)
+	}
+	if len(st.ValueCounts(1)) != 0 {
+		t.Error("side 2 should be empty")
+	}
+}
+
+func TestChargeStrategyDeltas(t *testing.T) {
+	st := newTestState()
+	costs := Costs{TR: 1, TE: 5, TF: 0.5, TQ: 2}
+	prev := retrieval.Counts{}
+	now := retrieval.Counts{Retrieved: 10, Filtered: 4, Queries: 3}
+	st.chargeStrategy(0, costs, prev, now)
+	if st.DocsRetrieved[0] != 10 || st.DocsFiltered[0] != 4 || st.Queries[0] != 3 {
+		t.Errorf("counters %d/%d/%d", st.DocsRetrieved[0], st.DocsFiltered[0], st.Queries[0])
+	}
+	wantTime := 10*1.0 + 4*0.5 + 3*2.0
+	if st.Time != wantTime {
+		t.Errorf("time %v, want %v", st.Time, wantTime)
+	}
+	// A second call charges only the delta.
+	st.chargeStrategy(0, costs, now, retrieval.Counts{Retrieved: 12, Filtered: 4, Queries: 3})
+	if st.DocsRetrieved[0] != 12 {
+		t.Errorf("delta accounting broken: %d", st.DocsRetrieved[0])
+	}
+	if st.Time != wantTime+2 {
+		t.Errorf("delta time %v", st.Time)
+	}
+}
+
+func TestSideValidate(t *testing.T) {
+	s := &Side{}
+	if err := s.validate(1); err == nil {
+		t.Error("empty side must fail validation")
+	}
+}
+
+func TestEmissionHistogramSums(t *testing.T) {
+	st := newTestState()
+	// Simulate histogram updates as processDoc does.
+	for _, k := range []int{0, 2, 1, 0, 3} {
+		for len(st.EmissionHist[0]) <= k {
+			st.EmissionHist[0] = append(st.EmissionHist[0], 0)
+		}
+		st.EmissionHist[0][k]++
+	}
+	total := 0
+	for _, c := range st.EmissionHist[0] {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("histogram covers %d docs", total)
+	}
+	if st.EmissionHist[0][0] != 2 || st.EmissionHist[0][3] != 1 {
+		t.Errorf("histogram %v", st.EmissionHist[0])
+	}
+}

@@ -1,0 +1,90 @@
+package join
+
+import (
+	"fmt"
+
+	"joinopt/internal/retrieval"
+)
+
+// IDJN is the Independent Join (§IV-A): the two relations are extracted
+// independently — each with its own document retrieval strategy — and joined
+// as documents arrive, ripple-join style. The traversal of D1 × D2 is
+// "square" by default (one document from each database per step) or
+// "rectangle" with configurable per-side rates.
+type IDJN struct {
+	sides [2]*Side
+	strat [2]retrieval.Strategy
+	prev  [2]retrieval.Counts
+
+	// rates are documents pulled per step for each side; fractional rates
+	// accumulate (e.g. 0.5 pulls a document every other step).
+	rates [2]float64
+	acc   [2]float64
+
+	done [2]bool
+	st   *State
+}
+
+// NewIDJN builds an Independent Join over two sides with their retrieval
+// strategies. Rates default to the square traversal (1, 1).
+func NewIDJN(s1, s2 *Side, x1, x2 retrieval.Strategy) (*IDJN, error) {
+	if err := s1.validate(1); err != nil {
+		return nil, err
+	}
+	if err := s2.validate(2); err != nil {
+		return nil, err
+	}
+	if x1 == nil || x2 == nil {
+		return nil, fmt.Errorf("join: IDJN needs a retrieval strategy for both sides")
+	}
+	e := &IDJN{
+		sides: [2]*Side{s1, s2},
+		strat: [2]retrieval.Strategy{x1, x2},
+		rates: [2]float64{1, 1},
+	}
+	e.st = newState(s1, s2)
+	return e, nil
+}
+
+// SetRates switches to a rectangle traversal pulling r1 and r2 documents per
+// step from the respective databases. Rates must be positive.
+func (e *IDJN) SetRates(r1, r2 float64) error {
+	if r1 <= 0 || r2 <= 0 {
+		return fmt.Errorf("join: IDJN rates must be positive, got %v, %v", r1, r2)
+	}
+	e.rates = [2]float64{r1, r2}
+	return nil
+}
+
+// Algorithm implements Executor.
+func (e *IDJN) Algorithm() string { return "IDJN" }
+
+// State implements Executor.
+func (e *IDJN) State() *State { return e.st }
+
+// Step retrieves and processes the next document(s) from each database at
+// the configured rates. It returns false once both strategies are exhausted.
+func (e *IDJN) Step() (bool, error) {
+	if e.done[0] && e.done[1] {
+		return false, nil
+	}
+	for i := 0; i < 2; i++ {
+		if e.done[i] {
+			continue
+		}
+		e.acc[i] += e.rates[i]
+		for e.acc[i] >= 1 {
+			e.acc[i]--
+			id, ok := e.strat[i].Next()
+			now := e.strat[i].Counts()
+			e.st.chargeStrategy(i, e.sides[i].Costs, e.prev[i], now)
+			e.prev[i] = now
+			if !ok {
+				e.done[i] = true
+				break
+			}
+			processDoc(e.st, i, e.sides[i], id)
+		}
+	}
+	return !(e.done[0] && e.done[1]), nil
+}

@@ -1,0 +1,103 @@
+package join
+
+import (
+	"fmt"
+
+	"joinopt/internal/index"
+	"joinopt/internal/retrieval"
+)
+
+// OIJN is the Outer/Inner Join (§IV-B): a nested-loops join where the outer
+// relation is extracted with a document retrieval strategy and, for every
+// new join-attribute value it produces, a keyword query is issued against
+// the inner database's search interface to fetch the documents likely to
+// contain the counterpart tuples. The inner reach is bounded by the search
+// interface's top-k cap.
+type OIJN struct {
+	outer, inner *Side
+	outerIdx     int // 0 or 1: which State side is the outer relation
+	strat        retrieval.Strategy
+	prev         retrieval.Counts
+
+	queried   map[string]bool // join values already used as queries
+	innerSeen map[int]bool    // inner documents already processed
+	done      bool
+	st        *State
+}
+
+// NewOIJN builds an Outer/Inner join. outerIdx selects which side (0 → s1,
+// 1 → s2) plays the outer role; x is the outer document retrieval strategy.
+// The inner side must have a search interface (Index).
+func NewOIJN(s1, s2 *Side, outerIdx int, x retrieval.Strategy) (*OIJN, error) {
+	if err := s1.validate(1); err != nil {
+		return nil, err
+	}
+	if err := s2.validate(2); err != nil {
+		return nil, err
+	}
+	if outerIdx != 0 && outerIdx != 1 {
+		return nil, fmt.Errorf("join: OIJN outer index must be 0 or 1, got %d", outerIdx)
+	}
+	if x == nil {
+		return nil, fmt.Errorf("join: OIJN needs an outer retrieval strategy")
+	}
+	sides := [2]*Side{s1, s2}
+	inner := sides[1-outerIdx]
+	if inner.Index == nil {
+		return nil, fmt.Errorf("join: OIJN inner side needs a search interface")
+	}
+	e := &OIJN{
+		outer:     sides[outerIdx],
+		inner:     inner,
+		outerIdx:  outerIdx,
+		strat:     x,
+		queried:   map[string]bool{},
+		innerSeen: map[int]bool{},
+	}
+	e.st = newState(s1, s2)
+	return e, nil
+}
+
+// Algorithm implements Executor.
+func (e *OIJN) Algorithm() string { return "OIJN" }
+
+// State implements Executor.
+func (e *OIJN) State() *State { return e.st }
+
+// Step retrieves and processes one outer document, then issues one keyword
+// query per new outer join value, processing every unseen matching inner
+// document. It returns false once the outer strategy is exhausted.
+func (e *OIJN) Step() (bool, error) {
+	if e.done {
+		return false, nil
+	}
+	id, ok := e.strat.Next()
+	now := e.strat.Counts()
+	e.st.chargeStrategy(e.outerIdx, e.outer.Costs, e.prev, now)
+	e.prev = now
+	if !ok {
+		e.done = true
+		return false, nil
+	}
+	tuples := processDoc(e.st, e.outerIdx, e.outer, id)
+	innerIdx := 1 - e.outerIdx
+	for _, t := range tuples {
+		a := t.A1
+		if e.queried[a] {
+			continue
+		}
+		e.queried[a] = true
+		e.st.Queries[innerIdx]++
+		e.st.Time += e.inner.Costs.TQ
+		for _, docID := range e.inner.Index.Search(index.QueryFromValue(a)) {
+			if e.innerSeen[docID] {
+				continue
+			}
+			e.innerSeen[docID] = true
+			e.st.DocsRetrieved[innerIdx]++
+			e.st.Time += e.inner.Costs.TR
+			processDoc(e.st, innerIdx, e.inner, docID)
+		}
+	}
+	return true, nil
+}

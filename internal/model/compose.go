@@ -1,0 +1,74 @@
+package model
+
+// OccExpectation is a conditional-expectation function E[observed
+// occurrences | database frequency]. Each join algorithm instantiates four
+// of these — good/bad occurrences for each relation — and the general
+// composition scheme of §V-B integrates them over the frequency
+// distributions and the value-overlap sets.
+type OccExpectation func(freq int) float64
+
+// LinearOcc returns the linear conditional expectation E[obs|f] = c·f used
+// by the scan-style analyses.
+func LinearOcc(c float64) OccExpectation {
+	return func(freq int) float64 { return c * float64(freq) }
+}
+
+// Compose implements the general scheme of §V-B:
+//
+//	E[|Tgood⋈|] = |Agg| · Σ_{g1} Σ_{g2} E[gr1|g1]·E[gr2|g2]·Pr{g1}·Pr{g2}
+//	E[|Tbad⋈|]  = Jgb + Jbg + Jbb  (mixed and bad-bad value classes)
+//
+// When correlated is true, the alternative coupling Pr{g1, g2} ≈ Pr{g}
+// (frequent values are frequent in both relations) replaces the
+// independence assumption; the two relations' distributions are then
+// averaged and a single sum is taken.
+func Compose(ov Overlaps, p1, p2 *RelationParams, e1g, e1b, e2g, e2b OccExpectation, correlated bool) Quality {
+	var q Quality
+	if correlated {
+		q.Good = float64(ov.Agg) * expectProductCorr(p1.GoodFreq, p2.GoodFreq, e1g, e2g)
+		q.Bad = float64(ov.Agb)*expectProductCorr(p1.GoodFreq, p2.BadFreq, e1g, e2b) +
+			float64(ov.Abg)*expectProductCorr(p1.BadFreq, p2.GoodFreq, e1b, e2g) +
+			float64(ov.Abb)*expectProductCorr(p1.BadFreq, p2.BadFreq, e1b, e2b)
+		return q
+	}
+	q.Good = float64(ov.Agg) * expectOver(p1.GoodFreq, e1g) * expectOver(p2.GoodFreq, e2g)
+	q.Bad = float64(ov.Agb)*expectOver(p1.GoodFreq, e1g)*expectOver(p2.BadFreq, e2b) +
+		float64(ov.Abg)*expectOver(p1.BadFreq, e1b)*expectOver(p2.GoodFreq, e2g) +
+		float64(ov.Abb)*expectOver(p1.BadFreq, e1b)*expectOver(p2.BadFreq, e2b)
+	return q
+}
+
+// expectOver integrates a conditional expectation over a frequency PMF
+// indexed from 1.
+func expectOver(pmf []float64, e OccExpectation) float64 {
+	var out float64
+	for i, p := range pmf {
+		if p > 0 {
+			out += p * e(i+1)
+		}
+	}
+	return out
+}
+
+// expectProductCorr computes Σ_f E1(f)·E2(f)·Pr{f} with Pr{f} the average of
+// the two marginal PMFs — the paper's correlated-frequency alternative.
+func expectProductCorr(pmf1, pmf2 []float64, e1, e2 OccExpectation) float64 {
+	n := len(pmf1)
+	if len(pmf2) > n {
+		n = len(pmf2)
+	}
+	var out float64
+	for i := 0; i < n; i++ {
+		var p float64
+		if i < len(pmf1) {
+			p += pmf1[i] / 2
+		}
+		if i < len(pmf2) {
+			p += pmf2[i] / 2
+		}
+		if p > 0 {
+			out += p * e1(i+1) * e2(i+1)
+		}
+	}
+	return out
+}

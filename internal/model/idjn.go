@@ -1,0 +1,63 @@
+package model
+
+import (
+	"fmt"
+
+	"joinopt/internal/retrieval"
+)
+
+// IDJNModel estimates the output quality and execution time of an
+// Independent Join plan (§V-C): both relations are extracted independently
+// with their own retrieval strategies, so each side's occurrence coverage is
+// the single-relation sampling analysis, and the join composition follows
+// the general scheme.
+type IDJNModel struct {
+	P1, P2 *RelationParams
+	X1, X2 retrieval.Kind
+	Ov     Overlaps
+
+	// Correlated selects the correlated-frequency coupling Pr{g1,g2} ≈
+	// Pr{g} instead of independence (§V-B).
+	Correlated bool
+}
+
+// Estimate predicts the join-output composition after the two strategies
+// have spent effort1 and effort2 (documents retrieved for SC/FS, queries
+// issued for AQG).
+func (m *IDJNModel) Estimate(effort1, effort2 int) (Quality, error) {
+	proc1, err := m.P1.ProcessedAfter(m.X1, effort1)
+	if err != nil {
+		return Quality{}, fmt.Errorf("model: IDJN side 1: %w", err)
+	}
+	proc2, err := m.P2.ProcessedAfter(m.X2, effort2)
+	if err != nil {
+		return Quality{}, fmt.Errorf("model: IDJN side 2: %w", err)
+	}
+	c1 := m.P1.CoverageOf(proc1)
+	c2 := m.P2.CoverageOf(proc2)
+	q := Compose(m.Ov, m.P1, m.P2,
+		LinearOcc(c1.CG), LinearOcc(c1.CB),
+		LinearOcc(c2.CG), LinearOcc(c2.CB), m.Correlated)
+	return q, nil
+}
+
+// Time predicts the cost-model execution time for the given efforts
+// (§V-C): Σ_i |Dri|·(tiR + tiE) plus filtering and querying charges for FS
+// and AQG strategies.
+func (m *IDJNModel) Time(effort1, effort2 int, c1, c2 Costs) (float64, error) {
+	proc1, err := m.P1.ProcessedAfter(m.X1, effort1)
+	if err != nil {
+		return 0, err
+	}
+	proc2, err := m.P2.ProcessedAfter(m.X2, effort2)
+	if err != nil {
+		return 0, err
+	}
+	return sideTime(proc1, c1) + sideTime(proc2, c2), nil
+}
+
+// sideTime charges retrieval, filtering, processing, and querying for one
+// side's processed composition.
+func sideTime(p Processed, c Costs) float64 {
+	return p.Retrieved*c.TR + p.Filtered*c.TF + p.ProcTotal*c.TE + p.Queries*c.TQ
+}

@@ -1,0 +1,278 @@
+// Package model implements the paper's analytical output-quality and
+// execution-time models (§V): closed-form estimates of the number of good
+// and bad tuples a join execution plan produces as a function of the IE
+// system configurations (tp(θ)/fp(θ)), the document retrieval strategies
+// (SC, FS, AQG), and the join algorithm (IDJN, OIJN, ZGJN), plus the
+// cost-model execution time of each plan.
+//
+// The models consume RelationParams — the database-specific, retrieval-
+// specific, and join-specific parameters of Table I and §VI. The accuracy
+// experiments feed measured ("perfect knowledge") parameters; the optimizer
+// feeds on-the-fly maximum-likelihood estimates from internal/estimate.
+package model
+
+import (
+	"fmt"
+
+	"joinopt/internal/join"
+	"joinopt/internal/relation"
+	"joinopt/internal/retrieval"
+	"joinopt/internal/stat"
+)
+
+// QueryParam describes one AQG query against a database: how many documents
+// it matches in total and how many of those are good/bad for the task.
+// GoodHits = P(q)·g(q) in the paper's notation.
+type QueryParam struct {
+	Hits     int
+	GoodHits int
+	BadHits  int
+}
+
+// RelationParams are the per-relation model inputs: database statistics,
+// IE-system rates at the plan's knob setting, retrieval-strategy parameters,
+// and join-algorithm parameters.
+type RelationParams struct {
+	// Database-specific (Table I).
+	D  int // |D|: documents in the database
+	Dg int // |Dg|: good documents
+	Db int // |Db|: bad documents
+	Ag int // |Ag|: distinct join values with good occurrences
+	Ab int // |Ab|: distinct join values with bad occurrences
+
+	// GoodFreq[k-1] = Pr{g(a) = k}: frequency distribution of good
+	// occurrences per value. BadFreq likewise for bad occurrences.
+	GoodFreq []float64
+	BadFreq  []float64
+
+	// IE-system rates at the plan's θ (§III-A).
+	TP float64
+	FP float64
+
+	// BadInGoodFrac is the fraction of bad occurrences hosted in good
+	// documents (bad tuples are extractable from both classes, §V-C).
+	BadInGoodFrac float64
+
+	// Filtered Scan classifier rates (§V-C).
+	Ctp float64
+	Cfp float64
+
+	// AQG query parameters (§V-C).
+	AQG []QueryParam
+
+	// Value-query parameters for OIJN/ZGJN (§V-D/E): the search interface's
+	// top-k cap and the precision of a join-value keyword query — the
+	// fraction of its hits that are occurrence documents of the value.
+	TopK  int
+	QPrec float64
+
+	// ValuesPerDoc[k] = Pr{a processed occurrence document emits k tuples
+	// at this θ}: the pdk distribution of the zig-zag graph (§V-E).
+	ValuesPerDoc []float64
+}
+
+// Validate reports the first structural problem with the parameters.
+func (p *RelationParams) Validate() error {
+	if p.D <= 0 || p.Dg <= 0 || p.Dg+p.Db > p.D {
+		return fmt.Errorf("model: invalid document partition D=%d Dg=%d Db=%d", p.D, p.Dg, p.Db)
+	}
+	if p.Ag <= 0 {
+		return fmt.Errorf("model: need at least one good value, got %d", p.Ag)
+	}
+	if len(p.GoodFreq) == 0 {
+		return fmt.Errorf("model: missing good frequency distribution")
+	}
+	if p.TP < 0 || p.TP > 1 || p.FP < 0 || p.FP > 1 {
+		return fmt.Errorf("model: rates out of range tp=%v fp=%v", p.TP, p.FP)
+	}
+	return nil
+}
+
+// meanFreq returns E[X] of a PMF indexed from 1.
+func meanFreq(pmf []float64) float64 {
+	var m float64
+	for i, p := range pmf {
+		m += float64(i+1) * p
+	}
+	return m
+}
+
+// MeanGoodFreq returns E[g(a)].
+func (p *RelationParams) MeanGoodFreq() float64 { return meanFreq(p.GoodFreq) }
+
+// MeanBadFreq returns E[b(a)]; zero when there are no bad values.
+func (p *RelationParams) MeanBadFreq() float64 {
+	if len(p.BadFreq) == 0 {
+		return 0
+	}
+	return meanFreq(p.BadFreq)
+}
+
+// TotalGoodOcc returns Σ_a g(a) = |Ag|·E[g].
+func (p *RelationParams) TotalGoodOcc() float64 { return float64(p.Ag) * p.MeanGoodFreq() }
+
+// TotalBadOcc returns Σ_a b(a) = |Ab|·E[b].
+func (p *RelationParams) TotalBadOcc() float64 { return float64(p.Ab) * p.MeanBadFreq() }
+
+// Processed is the expected composition of the documents an execution has
+// processed: good documents Jg, bad documents Jb, and the total retrieved
+// and processed counts (they differ under FS), plus queries issued (AQG).
+type Processed struct {
+	Jg        float64 // expected good documents processed
+	Jb        float64 // expected bad documents processed
+	Retrieved float64
+	ProcTotal float64
+	Filtered  float64
+	Queries   float64
+}
+
+// ProcessedAfter models a retrieval strategy's document composition.
+//
+// For SC and FS, effort is the number of documents retrieved (scanned); for
+// AQG it is the number of queries issued. The derivations follow §V-C:
+//
+//   - SC: |Dgr| follows Hyper(|D|, |Dr|, |Dg|, ·); the expectation is
+//     |Dr|·|Dg|/|D| and every retrieved document is processed.
+//   - FS: retrieved documents pass the classifier with rate Ctp (good) or
+//     Cfp (rest), so E[Jg] = |Dr|·(|Dg|/|D|)·Ctp.
+//   - AQG: a good document is retrieved by at least one of the Q queries
+//     with probability 1 − Π(1 − GoodHits_i/|Dg|) (Equation 2), and the
+//     number retrieved is binomial with that success probability.
+func (p *RelationParams) ProcessedAfter(kind retrieval.Kind, effort int) (Processed, error) {
+	switch kind {
+	case retrieval.SC:
+		dr := clampF(float64(effort), 0, float64(p.D))
+		frac := dr / float64(p.D)
+		return Processed{
+			Jg:        float64(p.Dg) * frac,
+			Jb:        float64(p.Db) * frac,
+			Retrieved: dr,
+			ProcTotal: dr,
+		}, nil
+	case retrieval.FS:
+		dr := clampF(float64(effort), 0, float64(p.D))
+		frac := dr / float64(p.D)
+		jg := float64(p.Dg) * frac * p.Ctp
+		jb := float64(p.Db) * frac * p.Cfp
+		rest := dr - float64(p.Dg)*frac - float64(p.Db)*frac
+		procTotal := jg + jb + rest*p.Cfp
+		return Processed{
+			Jg:        jg,
+			Jb:        jb,
+			Retrieved: dr,
+			ProcTotal: procTotal,
+			Filtered:  dr - procTotal,
+		}, nil
+	case retrieval.AQG:
+		if len(p.AQG) == 0 {
+			return Processed{}, fmt.Errorf("model: AQG parameters missing")
+		}
+		q := effort
+		if q > len(p.AQG) {
+			q = len(p.AQG)
+		}
+		missGood, missBad, missAll := 1.0, 1.0, 1.0
+		for i := 0; i < q; i++ {
+			qp := p.AQG[i]
+			missGood *= 1 - clampF(float64(qp.GoodHits)/float64(p.Dg), 0, 1)
+			if p.Db > 0 {
+				missBad *= 1 - clampF(float64(qp.BadHits)/float64(p.Db), 0, 1)
+			}
+			missAll *= 1 - clampF(float64(qp.Hits)/float64(p.D), 0, 1)
+		}
+		jg := float64(p.Dg) * (1 - missGood)
+		jb := float64(p.Db) * (1 - missBad)
+		dr := float64(p.D) * (1 - missAll)
+		return Processed{
+			Jg:        jg,
+			Jb:        jb,
+			Retrieved: dr,
+			ProcTotal: dr,
+			Queries:   float64(q),
+		}, nil
+	default:
+		return Processed{}, fmt.Errorf("model: unknown retrieval strategy %q", kind)
+	}
+}
+
+// Coverage is the per-occurrence observation probability of a relation's
+// occurrences given the processed-document composition: CG is the
+// probability a specific good occurrence appears in the extracted output,
+// CB likewise for a bad occurrence. These are the linear coefficients of the
+// conditional expectations E[gr|g] = CG·g and E[br|b] = CB·b, which follow
+// from the hypergeometric sampling mean (j·g/|Dg| marked draws) thinned by
+// the binomial extraction rate tp(θ) (§V-C).
+type Coverage struct {
+	CG float64
+	CB float64
+}
+
+// CoverageOf converts a processed composition into occurrence coverage.
+func (p *RelationParams) CoverageOf(proc Processed) Coverage {
+	cg := p.TP * proc.Jg / float64(p.Dg)
+	var cb float64
+	if p.Db > 0 {
+		cb = p.FP * (p.BadInGoodFrac*proc.Jg/float64(p.Dg) + (1-p.BadInGoodFrac)*proc.Jb/float64(p.Db))
+	} else {
+		cb = p.FP * p.BadInGoodFrac * proc.Jg / float64(p.Dg)
+	}
+	return Coverage{CG: clampF(cg, 0, 1), CB: clampF(cb, 0, 1)}
+}
+
+// Quality is an estimated join-output composition: the expected numbers of
+// good and bad join tuples.
+type Quality struct {
+	Good float64
+	Bad  float64
+}
+
+// Meets reports whether the estimate satisfies user requirements (τg, τb).
+func (q Quality) Meets(tauG, tauB int) bool {
+	return q.Good >= float64(tauG) && q.Bad <= float64(tauB)
+}
+
+// Overlaps re-exports the attribute-overlap cardinalities.
+type Overlaps = relation.OverlapSets
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Costs re-exports the execution-time constants used by the time models.
+type Costs = join.Costs
+
+// ExactExpectedObserved computes E[occurrences observed | freq] by the full
+// distribution sums of §V-C — hypergeometric sampling of occurrence
+// documents followed by binomial extraction thinning — instead of the
+// closed-form mean product. Exposed for the exact-vs-closed-form ablation;
+// the two agree on expectations (the closed form is exact for means), while
+// the exact sum costs O(freq²) work per value.
+func ExactExpectedObserved(pop, drawn, freq int, rate float64) float64 {
+	if pop <= 0 || drawn <= 0 || freq <= 0 {
+		return 0
+	}
+	if drawn > pop {
+		drawn = pop
+	}
+	var total float64
+	for k := 0; k <= freq; k++ {
+		pk := stat.HypergeometricPMF(pop, drawn, freq, k)
+		if pk == 0 {
+			continue
+		}
+		// Mean of Binomial(k, rate) is k·rate; summing the inner binomial
+		// explicitly mirrors the paper's double sum.
+		var inner float64
+		for l := 0; l <= k; l++ {
+			inner += float64(l) * stat.BinomialPMF(k, l, rate)
+		}
+		total += pk * inner
+	}
+	return total
+}

@@ -1,0 +1,407 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"joinopt/internal/estimate"
+	"joinopt/internal/join"
+	"joinopt/internal/model"
+	"joinopt/internal/retrieval"
+)
+
+// Env wires the adaptive optimizer to an execution environment: executor
+// construction for arbitrary plans, the training-time IE characterization,
+// and the offline-measurable retrieval/join parameters. The
+// database-specific parameters are *not* supplied — the driver estimates
+// them on the fly.
+type Env struct {
+	// NewExecutor builds a fresh executor for a plan.
+	NewExecutor func(PlanSpec) (join.Executor, error)
+
+	// NumDocs are the database sizes.
+	NumDocs [2]int
+
+	// Rates returns the training-time characterization tp(θ), fp(θ) of
+	// side's IE system.
+	Rates func(side int, theta float64) (tp, fp float64)
+
+	// Thetas are the available knob settings (the pilot uses Thetas[0]).
+	Thetas []float64
+
+	Costs      [2]model.Costs
+	CasualHits [2]float64
+	Mentioned  [2]int
+	SeedCount  int
+
+	// AQG are the per-side learned-query statistics (offline measurable).
+	AQG [2][]model.QueryParam
+
+	// Ctp and Cfp are the Filtered Scan classifier rates per side,
+	// characterized offline on the training split.
+	Ctp [2]float64
+	Cfp [2]float64
+
+	// QPrec and TopK are the value-query parameters per side.
+	QPrec [2]float64
+	TopK  [2]int
+
+	// BadInGoodPrior seeds the estimator (see estimate.Observation).
+	BadInGoodPrior float64
+}
+
+// Options tune the adaptive driver.
+type Options struct {
+	// PilotFraction of each database scanned by the pilot (default 0.10).
+	PilotFraction float64
+	// RecheckFraction of additional effort between re-optimizations
+	// (default 0.25 of the chosen plan's predicted effort).
+	RecheckFraction float64
+	// MaxSwitches bounds plan changes after the pilot (default 2).
+	MaxSwitches int
+	// StableDivergence is the cross-validation divergence above which the
+	// pilot window is extended before trusting the estimates (§VI's
+	// robustness checking; default 0.45, capped at 3 extensions).
+	StableDivergence float64
+}
+
+func (o *Options) defaults() {
+	if o.PilotFraction <= 0 {
+		o.PilotFraction = 0.10
+	}
+	if o.RecheckFraction <= 0 {
+		o.RecheckFraction = 0.25
+	}
+	if o.MaxSwitches == 0 {
+		o.MaxSwitches = 2
+	}
+	if o.StableDivergence <= 0 {
+		o.StableDivergence = 0.45
+	}
+}
+
+// Decision records one optimization step.
+type Decision struct {
+	AtTime   float64 // cumulative cost-model time when decided
+	Chosen   Eval
+	Switched bool
+}
+
+// Result is the outcome of an adaptive run.
+type Result struct {
+	Final     *join.State
+	Pilot     *join.State
+	Decisions []Decision
+	TotalTime float64
+	Inputs    *Inputs // the estimated inputs behind the final decision
+}
+
+// RunAdaptive executes the end-to-end §VI protocol: scan a pilot window,
+// estimate the database-specific parameters by MLE, choose the fastest plan
+// predicted to meet req, execute it, and re-optimize at checkpoints —
+// switching plans (from scratch, keeping the time bill) when the sharpened
+// estimates reveal a better option.
+func RunAdaptive(env *Env, req Requirement, opts Options) (*Result, error) {
+	opts.defaults()
+	if env.NewExecutor == nil || env.Rates == nil || len(env.Thetas) == 0 {
+		return nil, fmt.Errorf("optimizer: incomplete environment")
+	}
+	res := &Result{}
+
+	in, pilotState, err := PilotEstimate(env, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Pilot = pilotState
+	res.TotalTime += pilotState.Time
+	res.Inputs = in
+
+	plans := Enumerate(env.Thetas)
+	best, _, err := Choose(plans, in, req)
+	if err != nil {
+		return res, err
+	}
+	res.Decisions = append(res.Decisions, Decision{AtTime: res.TotalTime, Chosen: best})
+
+	switches := 0
+	for {
+		exec, err := env.NewExecutor(best.Plan)
+		if err != nil {
+			return res, fmt.Errorf("optimizer: building %s: %w", best.Plan, err)
+		}
+		checkpoint := 1
+		stop := func(s *join.State) bool {
+			if effortReached(best.Plan, s, best.Effort) {
+				return true
+			}
+			frac := effortFraction(best.Plan, s, best.Effort)
+			if frac >= opts.RecheckFraction*float64(checkpoint) && switches < opts.MaxSwitches {
+				return true
+			}
+			return false
+		}
+		st, err := join.Run(exec, stop)
+		if err != nil {
+			return res, err
+		}
+		if effortReached(best.Plan, st, best.Effort) {
+			return env.finish(res, exec, best, req)
+		}
+		// Checkpoint: re-estimate when the current plan samples by
+		// scanning (unbiased window); otherwise keep the pilot estimates.
+		checkpoint++
+		if scanLike(best.Plan) {
+			if in2, err := env.estimateInputs(st, best.Plan.Theta[0]); err == nil {
+				in = in2
+				res.Inputs = in
+			}
+		}
+		nb, _, err := Choose(plans, in, req)
+		if err != nil || nb.Plan == best.Plan {
+			// No better option (or no feasible plan under the sharpened
+			// estimates): finish the current execution.
+			if err == nil {
+				best = nb
+				res.Decisions = append(res.Decisions, Decision{AtTime: res.TotalTime, Chosen: nb})
+			}
+			if _, runErr := join.Run(exec, func(s *join.State) bool {
+				return effortReached(best.Plan, s, best.Effort)
+			}); runErr != nil {
+				return res, runErr
+			}
+			return env.finish(res, exec, best, req)
+		}
+		// Switch: bill the abandoned work and restart with the new plan.
+		res.TotalTime += st.Time
+		switches++
+		best = nb
+		res.Decisions = append(res.Decisions, Decision{AtTime: res.TotalTime, Chosen: best, Switched: true})
+	}
+}
+
+// PilotEstimate runs the estimation pilot — an IDJN scan window at the most
+// permissive knob setting, whose sampling matches the estimator's
+// assumptions — and returns the inferred optimizer inputs together with the
+// pilot's execution state (its cost must be billed by the caller).
+func PilotEstimate(env *Env, opts Options) (*Inputs, *join.State, error) {
+	opts.defaults()
+	if env.NewExecutor == nil || env.Rates == nil || len(env.Thetas) == 0 {
+		return nil, nil, fmt.Errorf("optimizer: incomplete environment")
+	}
+	pilotTheta := env.Thetas[0]
+	pilotPlan := PlanSpec{JN: IDJN, Theta: [2]float64{pilotTheta, pilotTheta}, X: [2]retrieval.Kind{retrieval.SC, retrieval.SC}}
+	pilot, err := env.NewExecutor(pilotPlan)
+	if err != nil {
+		return nil, nil, fmt.Errorf("optimizer: building pilot: %w", err)
+	}
+	pilotDocs := int(opts.PilotFraction * float64(env.NumDocs[0]))
+	if pilotDocs < 100 {
+		pilotDocs = 100
+	}
+	var pilotState *join.State
+	var in *Inputs
+	// Extend the pilot window until the cross-validated estimates
+	// stabilize (or the extension budget runs out) — §VI's robustness
+	// checking.
+	for ext := 0; ; ext++ {
+		target := pilotDocs
+		pilotState, err = join.Run(pilot, func(s *join.State) bool {
+			return s.DocsProcessed[0] >= target && s.DocsProcessed[1] >= target
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("optimizer: pilot run: %w", err)
+		}
+		in, err = env.estimateInputs(pilotState, pilotTheta)
+		if err != nil {
+			return nil, nil, fmt.Errorf("optimizer: pilot estimation: %w", err)
+		}
+		if ext >= 3 || pilotDocs >= env.NumDocs[0] {
+			break
+		}
+		stable := true
+		for side := 0; side < 2; side++ {
+			tp, fp := env.Rates(side, pilotTheta)
+			obs := estimate.FromState(pilotState, side, env.NumDocs[side], tp, fp, env.BadInGoodPrior)
+			div, cvErr := estimate.CrossValidate(obs)
+			if cvErr != nil || div > opts.StableDivergence {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			break
+		}
+		pilotDocs += pilotDocs / 2
+		if pilotDocs > env.NumDocs[0] {
+			pilotDocs = env.NumDocs[0]
+		}
+	}
+	return in, pilotState, nil
+}
+
+// finish drives an execution past its planned effort until the label-free
+// achieved-quality estimate meets τg — the paper's stopping condition
+// "estimated # good tuples in Rj ≥ τg" — extending the effort target
+// geometrically (up to a bounded number of extensions) when the planned
+// effort proves optimistic, then seals the result.
+func (env *Env) finish(res *Result, exec join.Executor, best Eval, req Requirement) (*Result, error) {
+	target := best.Effort
+	for ext := 0; ext < 5; ext++ {
+		st := exec.State()
+		good, bad := env.achieved(st, best.Plan)
+		if good >= float64(req.TauG) {
+			break
+		}
+		if bad > float64(req.TauB) {
+			// The algorithms' other stopping condition (Figures 3, 5, 7):
+			// once the estimated bad output exceeds τb, continuing cannot
+			// satisfy the requirement — return what was produced.
+			break
+		}
+		// Extend the effort target by half and keep going; Run returns
+		// immediately once the executor is exhausted.
+		for side := 0; side < 2; side++ {
+			if target[side] > 0 {
+				target[side] += (target[side] + 1) / 2
+			}
+		}
+		prev := progressSnapshot(best.Plan, st)
+		if _, err := join.Run(exec, func(s *join.State) bool {
+			return effortReached(best.Plan, s, target)
+		}); err != nil {
+			return res, err
+		}
+		if progressSnapshot(best.Plan, exec.State()) == prev {
+			break // exhausted: no further progress possible
+		}
+	}
+	res.Final = exec.State()
+	res.TotalTime += res.Final.Time
+	return res, nil
+}
+
+// achieved estimates the good/bad composition of the current output without
+// labels, via the mixture posteriors of freshly fitted estimates.
+func (env *Env) achieved(st *join.State, plan PlanSpec) (good, bad float64) {
+	var obs [2]estimate.Observation
+	var ests [2]*estimate.Estimated
+	for side := 0; side < 2; side++ {
+		tp, fp := env.Rates(side, plan.Theta[side])
+		obs[side] = estimate.FromState(st, side, env.NumDocs[side], tp, fp, env.BadInGoodPrior)
+		est, err := estimate.Estimate(obs[side])
+		if err != nil {
+			// Too little data for a fit: fall back to the raw pair count
+			// scaled by the training precision proxy.
+			prec := tp / (tp + fp)
+			total := float64(st.GoodPairs + st.BadPairs)
+			return total * prec, total * (1 - prec)
+		}
+		ests[side] = est
+	}
+	return estimate.PairSplit(obs[0], obs[1], ests[0], ests[1])
+}
+
+// progressSnapshot summarizes an execution's effort for stall detection.
+func progressSnapshot(plan PlanSpec, st *join.State) [2]int {
+	return [2]int{effortUnit(plan, st, 0), effortUnit(plan, st, 1)}
+}
+
+// estimateInputs runs the MLE estimator on both sides of a scan-sampled
+// state and assembles the optimizer inputs for every knob setting.
+func (env *Env) estimateInputs(st *join.State, obsTheta float64) (*Inputs, error) {
+	in := &Inputs{
+		Thetas:     env.Thetas,
+		Ov:         model.Overlaps{},
+		Costs:      env.Costs,
+		CasualHits: env.CasualHits,
+		Mentioned:  env.Mentioned,
+		SeedCount:  env.SeedCount,
+	}
+	var ests [2]*estimate.Estimated
+	var obs [2]estimate.Observation
+	for side := 0; side < 2; side++ {
+		tp, fp := env.Rates(side, obsTheta)
+		obs[side] = estimate.FromState(st, side, env.NumDocs[side], tp, fp, env.BadInGoodPrior)
+		est, err := estimate.Estimate(obs[side])
+		if err != nil {
+			return nil, fmt.Errorf("side %d: %w", side+1, err)
+		}
+		ests[side] = est
+		for _, theta := range env.Thetas {
+			p := *est.Params // copy; per-θ rates below
+			p.TP, p.FP = env.Rates(side, theta)
+			p.AQG = env.AQG[side]
+			p.QPrec = env.QPrec[side]
+			p.TopK = env.TopK[side]
+			p.Ctp, p.Cfp = env.Ctp[side], env.Cfp[side]
+			in.P[side] = append(in.P[side], &p)
+		}
+	}
+	in.Ov = estimate.EstimateOverlaps(obs[0].ValueCounts, obs[1].ValueCounts, ests[0], ests[1])
+	return in, nil
+}
+
+// effortUnit returns the per-side progress of a running execution in the
+// units the optimizer planned in.
+func effortUnit(plan PlanSpec, st *join.State, side int) int {
+	switch plan.JN {
+	case ZGJN:
+		return st.Queries[side]
+	case OIJN:
+		if side != plan.OuterIdx {
+			return 0
+		}
+		if plan.X[side] == retrieval.AQG {
+			return st.Queries[side]
+		}
+		return st.DocsRetrieved[side]
+	default:
+		if plan.X[side] == retrieval.AQG {
+			return st.Queries[side]
+		}
+		return st.DocsRetrieved[side]
+	}
+}
+
+// effortReached reports whether the execution has spent the planned effort
+// (or is exhausted relative to it).
+func effortReached(plan PlanSpec, st *join.State, effort [2]int) bool {
+	for side := 0; side < 2; side++ {
+		if effort[side] > 0 && effortUnit(plan, st, side) < effort[side] {
+			return false
+		}
+	}
+	return true
+}
+
+// effortFraction is the progress toward the planned effort, in [0, 1].
+func effortFraction(plan PlanSpec, st *join.State, effort [2]int) float64 {
+	frac := 1.0
+	seen := false
+	for side := 0; side < 2; side++ {
+		if effort[side] <= 0 {
+			continue
+		}
+		seen = true
+		f := float64(effortUnit(plan, st, side)) / float64(effort[side])
+		if f < frac {
+			frac = f
+		}
+	}
+	if !seen {
+		return 1
+	}
+	return frac
+}
+
+// scanLike reports whether a plan's sampling window is unbiased enough for
+// re-estimation (scan or filtered-scan driven).
+func scanLike(plan PlanSpec) bool {
+	switch plan.JN {
+	case IDJN:
+		return plan.X[0] != retrieval.AQG && plan.X[1] != retrieval.AQG
+	case OIJN:
+		return plan.X[plan.OuterIdx] != retrieval.AQG
+	default:
+		return false
+	}
+}

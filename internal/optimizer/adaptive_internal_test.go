@@ -1,0 +1,117 @@
+package optimizer
+
+import (
+	"testing"
+
+	"joinopt/internal/join"
+	"joinopt/internal/model"
+	"joinopt/internal/retrieval"
+)
+
+func scState(docs, queries [2]int) *join.State {
+	st := &join.State{}
+	st.DocsRetrieved = docs
+	st.Queries = queries
+	return st
+}
+
+func TestEffortUnitPerPlanShape(t *testing.T) {
+	st := scState([2]int{100, 50}, [2]int{7, 3})
+
+	idjnSC := PlanSpec{JN: IDJN, X: [2]retrieval.Kind{retrieval.SC, retrieval.FS}}
+	if effortUnit(idjnSC, st, 0) != 100 || effortUnit(idjnSC, st, 1) != 50 {
+		t.Error("IDJN scan sides should report retrieved docs")
+	}
+	idjnAQG := PlanSpec{JN: IDJN, X: [2]retrieval.Kind{retrieval.AQG, retrieval.SC}}
+	if effortUnit(idjnAQG, st, 0) != 7 {
+		t.Error("IDJN AQG side should report queries")
+	}
+	oijn := PlanSpec{JN: OIJN, OuterIdx: 1, X: [2]retrieval.Kind{"", retrieval.SC}}
+	if effortUnit(oijn, st, 1) != 50 {
+		t.Error("OIJN outer side should report retrieved docs")
+	}
+	if effortUnit(oijn, st, 0) != 0 {
+		t.Error("OIJN inner side has no planned effort unit")
+	}
+	zg := PlanSpec{JN: ZGJN}
+	if effortUnit(zg, st, 0) != 7 || effortUnit(zg, st, 1) != 3 {
+		t.Error("ZGJN sides should report queries")
+	}
+}
+
+func TestEffortReachedAndFraction(t *testing.T) {
+	plan := PlanSpec{JN: IDJN, X: [2]retrieval.Kind{retrieval.SC, retrieval.SC}}
+	st := scState([2]int{50, 100}, [2]int{0, 0})
+	effort := [2]int{100, 100}
+	if effortReached(plan, st, effort) {
+		t.Error("half effort should not be reached")
+	}
+	if f := effortFraction(plan, st, effort); f != 0.5 {
+		t.Errorf("fraction %v, want 0.5 (minimum across sides)", f)
+	}
+	st = scState([2]int{120, 100}, [2]int{0, 0})
+	if !effortReached(plan, st, effort) {
+		t.Error("effort reached on both sides")
+	}
+	// Zero-effort sides are ignored.
+	oijn := PlanSpec{JN: OIJN, OuterIdx: 0, X: [2]retrieval.Kind{retrieval.SC, ""}}
+	st = scState([2]int{80, 0}, [2]int{0, 0})
+	if !effortReached(oijn, st, [2]int{80, 0}) {
+		t.Error("OIJN outer effort reached; inner side must be ignored")
+	}
+	if f := effortFraction(oijn, st, [2]int{160, 0}); f != 0.5 {
+		t.Errorf("OIJN fraction %v", f)
+	}
+	// No planned effort at all: fraction saturates.
+	if f := effortFraction(plan, st, [2]int{0, 0}); f != 1 {
+		t.Errorf("empty effort fraction %v", f)
+	}
+}
+
+func TestScanLike(t *testing.T) {
+	cases := []struct {
+		plan PlanSpec
+		want bool
+	}{
+		{PlanSpec{JN: IDJN, X: [2]retrieval.Kind{retrieval.SC, retrieval.FS}}, true},
+		{PlanSpec{JN: IDJN, X: [2]retrieval.Kind{retrieval.SC, retrieval.AQG}}, false},
+		{PlanSpec{JN: OIJN, OuterIdx: 0, X: [2]retrieval.Kind{retrieval.FS, ""}}, true},
+		{PlanSpec{JN: OIJN, OuterIdx: 1, X: [2]retrieval.Kind{"", retrieval.AQG}}, false},
+		{PlanSpec{JN: ZGJN}, false},
+	}
+	for _, c := range cases {
+		if got := scanLike(c.plan); got != c.want {
+			t.Errorf("scanLike(%s) = %v, want %v", c.plan, got, c.want)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.defaults()
+	if o.PilotFraction != 0.10 || o.RecheckFraction != 0.25 || o.MaxSwitches != 2 {
+		t.Errorf("defaults %+v", o)
+	}
+	custom := Options{PilotFraction: 0.2, RecheckFraction: 0.5, MaxSwitches: 1}
+	custom.defaults()
+	if custom.PilotFraction != 0.2 || custom.MaxSwitches != 1 {
+		t.Errorf("custom options overridden: %+v", custom)
+	}
+}
+
+func TestRobustQualityCollapse(t *testing.T) {
+	// robustQuality uses LCB for good and UCB for bad.
+	d := qualityDistForTest(100, 50, 25, 16)
+	q := robustQuality(d, 2)
+	if q.Good != 90 || q.Bad != 58 {
+		t.Errorf("robust quality %+v", q)
+	}
+}
+
+// qualityDistForTest builds a distributional estimate for robustQuality.
+func qualityDistForTest(good, bad, varGood, varBad float64) model.QualityDist {
+	return model.QualityDist{
+		Quality: model.Quality{Good: good, Bad: bad},
+		VarGood: varGood, VarBad: varBad,
+	}
+}

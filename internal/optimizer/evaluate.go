@@ -1,0 +1,168 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"joinopt/internal/model"
+)
+
+// Eval is the optimizer's assessment of one plan against a requirement.
+type Eval struct {
+	Plan     PlanSpec
+	Feasible bool
+
+	// Effort is the minimal per-side effort meeting the requirement:
+	// documents for scans, queries for AQG and ZGJN, outer documents for
+	// OIJN (Effort[1-OuterIdx] is zero — the inner side's work is implied).
+	Effort [2]int
+
+	// Quality is the predicted output composition at Effort (the robust
+	// bounds when Inputs.RobustSigma is set).
+	Quality model.Quality
+
+	// Time is the predicted cost-model execution time at Effort.
+	Time float64
+
+	// Reason explains infeasibility.
+	Reason string
+}
+
+// Evaluate finds the minimal effort at which plan meets req, per the
+// models. The search exploits monotonicity: both good and bad output grow
+// with effort, so the minimal effort reaching τg is found by binary search
+// and the plan is feasible iff the bad count there is within τb.
+//
+// For IDJN the two sides advance proportionally — the square-traversal
+// heuristic of §VI, minimizing the sum of documents processed given that
+// their product drives the good-pair count.
+func Evaluate(plan PlanSpec, in *Inputs, req Requirement) (Eval, error) {
+	best, err := evaluateFns(plan, in, req, func() (*planFns, string, error) {
+		return planFuncs(plan, in)
+	})
+	if err != nil {
+		return Eval{}, err
+	}
+	// Rectangle exploration for IDJN: try the skewed aspects and keep the
+	// cheapest feasible evaluation.
+	if plan.JN == IDJN && len(in.RectangleRatios) > 0 {
+		for _, r := range in.RectangleRatios {
+			ratio := r
+			if ratio == 1 || ratio <= 0 {
+				continue
+			}
+			ev, err := evaluateFns(plan, in, req, func() (*planFns, string, error) {
+				return idjnFuncsRatio(plan, in, ratio)
+			})
+			if err != nil {
+				return Eval{}, err
+			}
+			if ev.Feasible && (!best.Feasible || ev.Time < best.Time) {
+				best = ev
+			}
+		}
+	}
+	return best, nil
+}
+
+// evaluateFns runs the minimal-effort search against one set of plan
+// closures.
+func evaluateFns(plan PlanSpec, in *Inputs, req Requirement, build func() (*planFns, string, error)) (Eval, error) {
+	fns, reason, err := build()
+	if err != nil {
+		return Eval{}, err
+	}
+	if fns == nil {
+		return Eval{Plan: plan, Reason: reason}, nil
+	}
+	quality := fns.quality
+	if fns.qualityRobust != nil {
+		quality = fns.qualityRobust
+	}
+	e, q, feasible, err := searchMinEffort(fns.max, req.TauG, quality)
+	if err != nil {
+		return Eval{}, err
+	}
+	out := Eval{Plan: plan, Effort: fns.effortPair(e), Quality: q}
+	if !feasible {
+		out.Reason = fmt.Sprintf("max good %.0f < τg %d", q.Good, req.TauG)
+		return out, nil
+	}
+	if q.Bad > float64(req.TauB) {
+		out.Reason = fmt.Sprintf("bad %.0f > τb %d at required effort", q.Bad, req.TauB)
+		return out, nil
+	}
+	out.Feasible = true
+	out.Time, err = fns.timeAt(e)
+	return out, err
+}
+
+// searchMinEffort binary-searches the smallest effort e in [1, max] with
+// good(e) ≥ τg. It returns feasible=false when even max falls short.
+func searchMinEffort(max int, tauG int, quality func(int) (model.Quality, error)) (int, model.Quality, bool, error) {
+	qMax, err := quality(max)
+	if err != nil {
+		return 0, model.Quality{}, false, err
+	}
+	if qMax.Good < float64(tauG) {
+		return max, qMax, false, nil
+	}
+	lo, hi := 1, max
+	qHi := qMax
+	for lo < hi {
+		mid := (lo + hi) / 2
+		q, err := quality(mid)
+		if err != nil {
+			return 0, model.Quality{}, false, err
+		}
+		if q.Good >= float64(tauG) {
+			hi = mid
+			qHi = q
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == hi && hi == max {
+		return max, qMax, true, nil
+	}
+	// Recompute at the boundary when the loop converged from below.
+	q, err := quality(lo)
+	if err != nil {
+		return 0, model.Quality{}, false, err
+	}
+	if q.Good < float64(tauG) {
+		q = qHi
+	}
+	return lo, q, true, nil
+}
+
+// robustQuality collapses a distributional estimate into the conservative
+// point the feasibility checks consume: the z-sigma lower bound on good
+// output and upper bound on bad output.
+func robustQuality(d model.QualityDist, z float64) model.Quality {
+	return model.Quality{Good: d.GoodLCB(z), Bad: d.BadUCB(z)}
+}
+
+// Choose evaluates every plan and returns the fastest feasible one plus all
+// evaluations (for reporting). It returns an error when no plan is
+// feasible.
+func Choose(plans []PlanSpec, in *Inputs, req Requirement) (Eval, []Eval, error) {
+	evals := make([]Eval, 0, len(plans))
+	best := Eval{Time: math.Inf(1)}
+	found := false
+	for _, plan := range plans {
+		ev, err := Evaluate(plan, in, req)
+		if err != nil {
+			return Eval{}, nil, fmt.Errorf("optimizer: evaluating %s: %w", plan, err)
+		}
+		evals = append(evals, ev)
+		if ev.Feasible && ev.Time < best.Time {
+			best = ev
+			found = true
+		}
+	}
+	if !found {
+		return Eval{}, evals, fmt.Errorf("optimizer: no feasible plan for τg=%d τb=%d", req.TauG, req.TauB)
+	}
+	return best, evals, nil
+}

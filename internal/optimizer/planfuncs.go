@@ -1,0 +1,202 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"joinopt/internal/model"
+)
+
+// planFns closes a plan's model over the inputs: quality and time as
+// functions of the plan's scalar effort (side-1 documents for IDJN, outer
+// documents/queries for OIJN, per-side queries for ZGJN), plus the largest
+// meaningful effort.
+type planFns struct {
+	max           int
+	quality       func(int) (model.Quality, error)
+	qualityRobust func(int) (model.Quality, error) // nil when RobustSigma == 0
+	timeAt        func(int) (float64, error)
+	effortPair    func(int) [2]int
+}
+
+// planFuncs builds the closures for a plan. A nil return with a non-empty
+// reason marks a degenerate plan (no retrieval capacity, stalled zig-zag).
+func planFuncs(plan PlanSpec, in *Inputs) (*planFns, string, error) {
+	switch plan.JN {
+	case IDJN:
+		return idjnFuncs(plan, in)
+	case OIJN:
+		return oijnFuncs(plan, in)
+	case ZGJN:
+		return zgjnFuncs(plan, in)
+	default:
+		return nil, "", fmt.Errorf("optimizer: unknown algorithm %q", plan.JN)
+	}
+}
+
+func idjnFuncs(plan PlanSpec, in *Inputs) (*planFns, string, error) {
+	return idjnFuncsRatio(plan, in, 1)
+}
+
+// idjnFuncsRatio builds IDJN closures with side-2 effort skewed by ratio
+// relative to the proportional (square) baseline.
+func idjnFuncsRatio(plan PlanSpec, in *Inputs, ratio float64) (*planFns, string, error) {
+	p1, err := in.params(0, plan.Theta[0])
+	if err != nil {
+		return nil, "", err
+	}
+	p2, err := in.params(1, plan.Theta[1])
+	if err != nil {
+		return nil, "", err
+	}
+	m := &model.IDJNModel{P1: p1, P2: p2, X1: plan.X[0], X2: plan.X[1], Ov: in.Ov}
+	max1 := maxEffort(p1, plan.X[0])
+	max2 := maxEffort(p2, plan.X[1])
+	if max1 == 0 || max2 == 0 {
+		return nil, "no retrieval capacity", nil
+	}
+	if ratio <= 0 {
+		ratio = 1
+	}
+	// Proportional (square) traversal parameterized by side-1 effort —
+	// the §VI heuristic: advance the sides as evenly as possible — with an
+	// optional aspect skew for the rectangle generalization.
+	side2 := func(e1 int) int {
+		e2 := int(math.Ceil(ratio * float64(e1) * float64(max2) / float64(max1)))
+		if e2 < 1 {
+			e2 = 1
+		}
+		if e2 > max2 {
+			e2 = max2
+		}
+		return e2
+	}
+	fns := &planFns{
+		max: max1,
+		quality: func(e int) (model.Quality, error) {
+			return m.Estimate(e, side2(e))
+		},
+		timeAt: func(e int) (float64, error) {
+			return m.Time(e, side2(e), in.Costs[0], in.Costs[1])
+		},
+		effortPair: func(e int) [2]int { return [2]int{e, side2(e)} },
+	}
+	if in.RobustSigma > 0 {
+		fns.qualityRobust = func(e int) (model.Quality, error) {
+			d, err := m.EstimateDist(e, side2(e))
+			if err != nil {
+				return model.Quality{}, err
+			}
+			return robustQuality(d, in.RobustSigma), nil
+		}
+	}
+	return fns, "", nil
+}
+
+func oijnFuncs(plan PlanSpec, in *Inputs) (*planFns, string, error) {
+	p1, err := in.params(0, plan.Theta[0])
+	if err != nil {
+		return nil, "", err
+	}
+	p2, err := in.params(1, plan.Theta[1])
+	if err != nil {
+		return nil, "", err
+	}
+	inner := 1 - plan.OuterIdx
+	m := &model.OIJNModel{
+		P1: p1, P2: p2, Ov: in.Ov,
+		OuterIdx:       plan.OuterIdx,
+		XOuter:         plan.X[plan.OuterIdx],
+		CasualHits:     in.CasualHits[inner],
+		MentionedInner: in.Mentioned[inner],
+	}
+	pOuter := p1
+	if plan.OuterIdx == 1 {
+		pOuter = p2
+	}
+	max := maxEffort(pOuter, plan.X[plan.OuterIdx])
+	if max == 0 {
+		return nil, "no outer retrieval capacity", nil
+	}
+	cOuter := in.Costs[plan.OuterIdx]
+	cInner := in.Costs[inner]
+	fns := &planFns{
+		max:     max,
+		quality: m.Estimate,
+		timeAt: func(e int) (float64, error) {
+			return m.Time(e, cOuter, cInner)
+		},
+		effortPair: func(e int) [2]int {
+			var out [2]int
+			out[plan.OuterIdx] = e
+			return out
+		},
+	}
+	if in.RobustSigma > 0 {
+		fns.qualityRobust = func(e int) (model.Quality, error) {
+			d, err := m.EstimateDist(e)
+			if err != nil {
+				return model.Quality{}, err
+			}
+			return robustQuality(d, in.RobustSigma), nil
+		}
+	}
+	return fns, "", nil
+}
+
+func zgjnFuncs(plan PlanSpec, in *Inputs) (*planFns, string, error) {
+	p1, err := in.params(0, plan.Theta[0])
+	if err != nil {
+		return nil, "", err
+	}
+	p2, err := in.params(1, plan.Theta[1])
+	if err != nil {
+		return nil, "", err
+	}
+	m := &model.ZGJNModel{
+		P1: p1, P2: p2, Ov: in.Ov,
+		Mentioned1: in.Mentioned[0], Mentioned2: in.Mentioned[1],
+	}
+	// The zig-zag can issue at most one query per reachable value; the
+	// mean-field cascade from the seed bounds the reach.
+	seeds := in.SeedCount
+	if seeds <= 0 {
+		seeds = 1
+	}
+	cascade, err := m.CascadeAfter(seeds, 64)
+	if err != nil {
+		return nil, fmt.Sprintf("degenerate zig-zag graph: %v", err), nil
+	}
+	maxQ := int(math.Floor(math.Min(cascade.Queries[0], cascade.Queries[1])))
+	if maxQ < 1 {
+		return nil, "zig-zag stalls at the seed", nil
+	}
+	fns := &planFns{
+		max: maxQ,
+		quality: func(qn int) (model.Quality, error) {
+			return m.EstimateAtQueries(qn, qn)
+		},
+		timeAt: func(qn int) (float64, error) {
+			return m.Time(qn, qn, in.Costs[0], in.Costs[1])
+		},
+		effortPair: func(qn int) [2]int { return [2]int{qn, qn} },
+	}
+	if in.RobustSigma > 0 {
+		fns.qualityRobust = func(qn int) (model.Quality, error) {
+			d1, err := m.ReachDocs(0, qn)
+			if err != nil {
+				return model.Quality{}, err
+			}
+			d2, err := m.ReachDocs(1, qn)
+			if err != nil {
+				return model.Quality{}, err
+			}
+			dist, err := m.EstimateDistAtDocs(int(d1), int(d2))
+			if err != nil {
+				return model.Quality{}, err
+			}
+			return robustQuality(dist, in.RobustSigma), nil
+		}
+	}
+	return fns, "", nil
+}

@@ -1,0 +1,124 @@
+package optimizer_test
+
+import (
+	"testing"
+
+	"joinopt/internal/optimizer"
+)
+
+func TestMinPrecisionMapping(t *testing.T) {
+	req, err := optimizer.MinPrecision{Good: 50, P: 0.5}.Requirement(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.TauG != 50 || req.TauB != 50 {
+		t.Errorf("precision 0.5 → %+v, want τg=50 τb=50", req)
+	}
+	req, err = optimizer.MinPrecision{Good: 30, P: 0.75}.Requirement(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.TauB != 10 {
+		t.Errorf("precision 0.75 → τb=%d, want 10", req.TauB)
+	}
+	if _, err := (optimizer.MinPrecision{Good: 0, P: 0.5}).Requirement(nil); err == nil {
+		t.Error("expected error for zero good target")
+	}
+	if _, err := (optimizer.MinPrecision{Good: 5, P: 1.5}).Requirement(nil); err == nil {
+		t.Error("expected error for precision > 1")
+	}
+}
+
+func TestMinRecallMapping(t *testing.T) {
+	_, in := testSetup(t)
+	total, err := optimizer.AchievableGood(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Fatalf("achievable good %v", total)
+	}
+	req, err := optimizer.MinRecall{Recall: 0.25}.Requirement(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(0.25*total + 0.999)
+	if req.TauG < want-1 || req.TauG > want+1 {
+		t.Errorf("recall 0.25 of %.0f → τg=%d", total, req.TauG)
+	}
+	if req.TauB != 10*req.TauG {
+		t.Errorf("default bad budget τb=%d, want 10·τg", req.TauB)
+	}
+	if _, err := (optimizer.MinRecall{Recall: 1.5}).Requirement(in); err == nil {
+		t.Error("expected error for recall > 1")
+	}
+}
+
+func TestChoosePreferredEndToEnd(t *testing.T) {
+	_, in := testSetup(t)
+	plans := optimizer.Enumerate(thetas)
+	best, req, err := optimizer.ChoosePreferred(plans, in, optimizer.MinPrecision{Good: 10, P: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Feasible {
+		t.Fatal("no feasible plan for a lax precision preference")
+	}
+	if req.TauG != 10 || req.TauB != 40 {
+		t.Errorf("derived requirement %+v", req)
+	}
+	if best.Quality.Good < 10 {
+		t.Errorf("chosen plan predicts %v good", best.Quality.Good)
+	}
+}
+
+func TestChooseWithinBudget(t *testing.T) {
+	_, in := testSetup(t)
+	plans := optimizer.Enumerate(thetas)
+
+	small, err := optimizer.ChooseWithinBudget(plans, in, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := optimizer.ChooseWithinBudget(plans, in, 20000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Time > 500 || large.Time > 20000 {
+		t.Errorf("budgets violated: %.0f/500, %.0f/20000", small.Time, large.Time)
+	}
+	if large.Quality.Good <= small.Quality.Good {
+		t.Errorf("bigger budget should buy more good output: %.0f vs %.0f",
+			large.Quality.Good, small.Quality.Good)
+	}
+	// The precision constraint prunes high-fp operating points.
+	strict, err := optimizer.ChooseWithinBudget(plans, in, 20000, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Quality.Bad > 0.4*strict.Quality.Good {
+		t.Errorf("ratio constraint violated: %+v", strict.Quality)
+	}
+	if _, err := optimizer.ChooseWithinBudget(plans, in, -1, 0); err == nil {
+		t.Error("expected error for non-positive budget")
+	}
+}
+
+func TestChooseWithinBudgetConsistencyWithChoose(t *testing.T) {
+	// If a budget equals the time of the fastest plan meeting (τg, τb),
+	// the budgeted choice at that budget must deliver at least τg good.
+	_, in := testSetup(t)
+	plans := optimizer.Enumerate(thetas)
+	req := optimizer.Requirement{TauG: 32, TauB: 1 << 20}
+	best, _, err := optimizer.Choose(plans, in, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := optimizer.ChooseWithinBudget(plans, in, best.Time, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.Quality.Good < float64(req.TauG) {
+		t.Errorf("budget %.0f should afford %d good, got %.0f", best.Time, req.TauG, budgeted.Quality.Good)
+	}
+}

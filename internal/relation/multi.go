@@ -1,0 +1,72 @@
+package relation
+
+// N-ary extensions of the value-overlap machinery, supporting the paper's
+// stated future work (higher-order joins, §III-C): an n-way natural join on
+// the shared attribute composes per-value occurrence products across n
+// relations, and its quality analysis needs the value counts of every
+// good/bad class combination — the 2^n generalization of Agg/Agb/Abg/Abb.
+
+// ClassMask encodes one good/bad class combination across n relations: bit
+// i is set when the value has good occurrences in relation i, clear when it
+// has bad occurrences there. A value belongs to every mask it satisfies
+// (values with both good and bad occurrences in a relation satisfy both bit
+// settings for that relation), exactly as a value can be in both Agi and
+// Abi in the binary analysis.
+type ClassMask uint8
+
+// AllGood returns the mask with the low n bits set — the class whose
+// composition yields good join tuples.
+func AllGood(n int) ClassMask { return ClassMask(1<<n) - 1 }
+
+// MultiOverlaps computes, for every class mask over the given gold sets,
+// the number of join values in that class: |∩_i A_{class_i, i}|. The result
+// has 2^n entries (some possibly zero).
+func MultiOverlaps(golds []*Gold) map[ClassMask]int {
+	n := len(golds)
+	goodSets := make([]map[string]bool, n)
+	badSets := make([]map[string]bool, n)
+	universe := map[string]bool{}
+	for i, g := range golds {
+		goodSets[i], badSets[i] = GoldValueSets(g)
+		for v := range goodSets[i] {
+			universe[v] = true
+		}
+		for v := range badSets[i] {
+			universe[v] = true
+		}
+	}
+	out := map[ClassMask]int{}
+	for v := range universe {
+		// Memberships per relation.
+		var inGood, inBad ClassMask
+		for i := 0; i < n; i++ {
+			if goodSets[i][v] {
+				inGood |= 1 << i
+			}
+			if badSets[i][v] {
+				inBad |= 1 << i
+			}
+		}
+		// The value counts toward every mask m where, per relation, the
+		// required membership holds.
+		for m := ClassMask(0); m < 1<<n; m++ {
+			ok := true
+			for i := 0; i < n; i++ {
+				bit := ClassMask(1) << i
+				if m&bit != 0 {
+					if inGood&bit == 0 {
+						ok = false
+						break
+					}
+				} else if inBad&bit == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out[m]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+// Package retrieval implements the document retrieval strategies of §III-B
+// as streaming document sources: Scan (SC), Filtered Scan (FS), and
+// Automatic Query Generation (AQG). Join executors pull document IDs from a
+// Strategy one at a time and account for the retrieval work it performs.
+package retrieval
+
+import (
+	"fmt"
+
+	"joinopt/internal/classifier"
+	"joinopt/internal/corpus"
+	"joinopt/internal/index"
+	"joinopt/internal/qxtract"
+)
+
+// Kind identifies a retrieval strategy.
+type Kind string
+
+// The retrieval strategies of the paper.
+const (
+	SC  Kind = "SC"  // Scan
+	FS  Kind = "FS"  // Filtered Scan
+	AQG Kind = "AQG" // Automatic Query Generation
+)
+
+// Counts is the work performed by a strategy so far: documents retrieved
+// from the database, documents rejected by the Filtered Scan classifier, and
+// queries issued by AQG. The cost model charges tR per retrieval, tF per
+// filtered document, and tQ per query.
+type Counts struct {
+	Retrieved int
+	Filtered  int
+	Queries   int
+}
+
+// Strategy streams the IDs of documents to process, in retrieval order.
+type Strategy interface {
+	// Next returns the next document to process; ok is false once the
+	// strategy is exhausted (whole database scanned, or all queries spent).
+	Next() (docID int, ok bool)
+	// Kind identifies the strategy.
+	Kind() Kind
+	// Counts reports the work performed so far.
+	Counts() Counts
+}
+
+// Scan retrieves every document sequentially.
+type Scan struct {
+	n      int
+	next   int
+	counts Counts
+}
+
+// NewScan returns a Scan over a database of numDocs documents.
+func NewScan(numDocs int) *Scan { return &Scan{n: numDocs} }
+
+// Next implements Strategy.
+func (s *Scan) Next() (int, bool) {
+	if s.next >= s.n {
+		return 0, false
+	}
+	id := s.next
+	s.next++
+	s.counts.Retrieved++
+	return id, true
+}
+
+// Kind implements Strategy.
+func (s *Scan) Kind() Kind { return SC }
+
+// Counts implements Strategy.
+func (s *Scan) Counts() Counts { return s.counts }
+
+// FilteredScan scans sequentially but hands out only documents the
+// classifier accepts. Rejected documents are still retrieved (and charged)
+// but not processed.
+type FilteredScan struct {
+	db     *corpus.DB
+	c      classifier.Classifier
+	next   int
+	counts Counts
+}
+
+// NewFilteredScan returns a Filtered Scan over db using c.
+func NewFilteredScan(db *corpus.DB, c classifier.Classifier) (*FilteredScan, error) {
+	if c == nil {
+		return nil, fmt.Errorf("retrieval: filtered scan needs a classifier")
+	}
+	return &FilteredScan{db: db, c: c}, nil
+}
+
+// Next implements Strategy.
+func (f *FilteredScan) Next() (int, bool) {
+	for f.next < f.db.Size() {
+		id := f.next
+		f.next++
+		f.counts.Retrieved++
+		if f.c.Classify(f.db.Doc(id).Text) {
+			return id, true
+		}
+		f.counts.Filtered++
+	}
+	return 0, false
+}
+
+// Kind implements Strategy.
+func (f *FilteredScan) Kind() Kind { return FS }
+
+// Counts implements Strategy.
+func (f *FilteredScan) Counts() Counts { return f.counts }
+
+// AQGStrategy issues learned keyword queries against the database's search
+// interface and streams the unseen matching documents. Its reach is bounded
+// by the query set and the interface's top-k cap.
+type AQGStrategy struct {
+	ix      *index.Index
+	queries []qxtract.Query
+	qNext   int
+	buffer  []int
+	seen    map[int]bool
+	counts  Counts
+}
+
+// NewAQG returns an AQG strategy issuing queries against ix in order.
+func NewAQG(ix *index.Index, queries []qxtract.Query) (*AQGStrategy, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("retrieval: AQG needs at least one query")
+	}
+	return &AQGStrategy{ix: ix, queries: queries, seen: map[int]bool{}}, nil
+}
+
+// Next implements Strategy.
+func (a *AQGStrategy) Next() (int, bool) {
+	for {
+		if len(a.buffer) > 0 {
+			id := a.buffer[0]
+			a.buffer = a.buffer[1:]
+			a.counts.Retrieved++
+			return id, true
+		}
+		if a.qNext >= len(a.queries) {
+			return 0, false
+		}
+		q := a.queries[a.qNext]
+		a.qNext++
+		a.counts.Queries++
+		for _, id := range a.ix.Search(q.IndexQuery()) {
+			if !a.seen[id] {
+				a.seen[id] = true
+				a.buffer = append(a.buffer, id)
+			}
+		}
+	}
+}
+
+// Kind implements Strategy.
+func (a *AQGStrategy) Kind() Kind { return AQG }
+
+// Counts implements Strategy.
+func (a *AQGStrategy) Counts() Counts { return a.counts }

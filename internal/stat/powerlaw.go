@@ -1,0 +1,119 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+)
+
+// PowerLaw is a truncated discrete power-law (zeta) distribution over
+// {1, ..., Max}: Pr{X = k} ∝ k^(-Alpha). The paper verifies that attribute
+// and document frequency distributions of real extraction tasks tend to be
+// power laws (§V-B, §VII); the corpus generator samples frequencies from this
+// distribution and the analytical models integrate over it.
+type PowerLaw struct {
+	Alpha float64 // exponent, > 0 for a decreasing law
+	Max   int     // inclusive upper bound of the support
+
+	norm float64   // normalization constant Σ k^-Alpha
+	pmf  []float64 // pmf[k-1] = Pr{X=k}
+	cdf  []float64 // cdf[k-1] = Pr{X<=k}
+	mean float64
+}
+
+// NewPowerLaw constructs a truncated power law with the given exponent and
+// maximum support value. It returns an error for non-positive Max or a
+// non-finite exponent.
+func NewPowerLaw(alpha float64, max int) (*PowerLaw, error) {
+	if max <= 0 {
+		return nil, fmt.Errorf("stat: power law max must be positive, got %d", max)
+	}
+	if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("stat: power law alpha must be finite, got %v", alpha)
+	}
+	p := &PowerLaw{Alpha: alpha, Max: max}
+	p.pmf = make([]float64, max)
+	p.cdf = make([]float64, max)
+	for k := 1; k <= max; k++ {
+		w := math.Pow(float64(k), -alpha)
+		p.pmf[k-1] = w
+		p.norm += w
+	}
+	var acc float64
+	for k := 1; k <= max; k++ {
+		p.pmf[k-1] /= p.norm
+		acc += p.pmf[k-1]
+		p.cdf[k-1] = acc
+		p.mean += float64(k) * p.pmf[k-1]
+	}
+	return p, nil
+}
+
+// MustPowerLaw is NewPowerLaw that panics on error; for static configuration.
+func MustPowerLaw(alpha float64, max int) *PowerLaw {
+	p, err := NewPowerLaw(alpha, max)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PMF returns Pr{X = k}; zero outside [1, Max].
+func (p *PowerLaw) PMF(k int) float64 {
+	if k < 1 || k > p.Max {
+		return 0
+	}
+	return p.pmf[k-1]
+}
+
+// Mean returns E[X].
+func (p *PowerLaw) Mean() float64 { return p.mean }
+
+// Sample draws a variate by inverse-CDF binary search.
+func (p *PowerLaw) Sample(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, p.Max-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// PMFSlice returns a copy of the PMF indexed from k=1 at position 0.
+func (p *PowerLaw) PMFSlice() []float64 {
+	out := make([]float64, len(p.pmf))
+	copy(out, p.pmf)
+	return out
+}
+
+// FitPowerLawAlpha fits the exponent of a truncated power law to an observed
+// frequency histogram counts[k-1] = number of items with value k, by
+// maximizing the multinomial log-likelihood over a grid of alphas in
+// [0.5, 4.0]. It returns the best alpha. This is the parametric piece of the
+// on-the-fly parameter estimation (§VI): attribute frequency distributions
+// are assumed power-law and only the exponent is inferred.
+func FitPowerLawAlpha(counts []int, max int) float64 {
+	bestAlpha, bestLL := 1.0, math.Inf(-1)
+	for alpha := 0.5; alpha <= 4.0001; alpha += 0.05 {
+		pl, err := NewPowerLaw(alpha, max)
+		if err != nil {
+			continue
+		}
+		ll := 0.0
+		for k := 1; k <= len(counts) && k <= max; k++ {
+			c := counts[k-1]
+			if c == 0 {
+				continue
+			}
+			ll += float64(c) * math.Log(pl.PMF(k))
+		}
+		if ll > bestLL {
+			bestLL, bestAlpha = ll, alpha
+		}
+	}
+	return bestAlpha
+}

@@ -1,0 +1,115 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerLawPMFSumsToOne(t *testing.T) {
+	f := func(a16 uint16, m8 uint8) bool {
+		alpha := 0.5 + 3*float64(a16)/65535.0
+		max := int(m8%200) + 1
+		pl, err := NewPowerLaw(alpha, max)
+		if err != nil {
+			return false
+		}
+		var s float64
+		for k := 1; k <= max; k++ {
+			s += pl.PMF(k)
+		}
+		return almostEqual(s, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerLawMonotoneDecreasing(t *testing.T) {
+	pl := MustPowerLaw(2.0, 100)
+	for k := 1; k < 100; k++ {
+		if pl.PMF(k) < pl.PMF(k+1) {
+			t.Fatalf("PMF must decrease: PMF(%d)=%v < PMF(%d)=%v", k, pl.PMF(k), k+1, pl.PMF(k+1))
+		}
+	}
+}
+
+func TestPowerLawRatio(t *testing.T) {
+	// Pr{1}/Pr{2} = 2^alpha.
+	pl := MustPowerLaw(2.0, 50)
+	ratio := pl.PMF(1) / pl.PMF(2)
+	if !almostEqual(ratio, 4, 1e-9) {
+		t.Errorf("ratio %v, want 4", ratio)
+	}
+}
+
+func TestPowerLawMeanMatchesPMF(t *testing.T) {
+	pl := MustPowerLaw(1.7, 300)
+	var mean float64
+	for k := 1; k <= 300; k++ {
+		mean += float64(k) * pl.PMF(k)
+	}
+	if !almostEqual(mean, pl.Mean(), 1e-9) {
+		t.Errorf("mean %v != cached %v", mean, pl.Mean())
+	}
+}
+
+func TestPowerLawSampleDistribution(t *testing.T) {
+	pl := MustPowerLaw(2.0, 20)
+	r := NewRNG(99)
+	n := 50000
+	counts := make([]int, 21)
+	for i := 0; i < n; i++ {
+		counts[pl.Sample(r)]++
+	}
+	for k := 1; k <= 5; k++ {
+		got := float64(counts[k]) / float64(n)
+		want := pl.PMF(k)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("empirical PMF(%d)=%v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestPowerLawOutOfSupport(t *testing.T) {
+	pl := MustPowerLaw(2.0, 10)
+	if pl.PMF(0) != 0 || pl.PMF(11) != 0 || pl.PMF(-3) != 0 {
+		t.Error("PMF outside [1, Max] must be zero")
+	}
+}
+
+func TestPowerLawInvalidInputs(t *testing.T) {
+	if _, err := NewPowerLaw(2.0, 0); err == nil {
+		t.Error("expected error for max=0")
+	}
+	if _, err := NewPowerLaw(math.NaN(), 5); err == nil {
+		t.Error("expected error for NaN alpha")
+	}
+	if _, err := NewPowerLaw(math.Inf(1), 5); err == nil {
+		t.Error("expected error for Inf alpha")
+	}
+}
+
+func TestFitPowerLawAlphaRecoversExponent(t *testing.T) {
+	for _, trueAlpha := range []float64{1.2, 2.0, 2.8} {
+		pl := MustPowerLaw(trueAlpha, 100)
+		r := NewRNG(17)
+		counts := make([]int, 100)
+		for i := 0; i < 20000; i++ {
+			counts[pl.Sample(r)-1]++
+		}
+		got := FitPowerLawAlpha(counts, 100)
+		if math.Abs(got-trueAlpha) > 0.2 {
+			t.Errorf("fit alpha %v, want near %v", got, trueAlpha)
+		}
+	}
+}
+
+func TestPowerLawPMFSliceIsCopy(t *testing.T) {
+	pl := MustPowerLaw(2.0, 5)
+	s := pl.PMFSlice()
+	s[0] = -1
+	if pl.PMF(1) < 0 {
+		t.Error("PMFSlice must return a copy")
+	}
+}

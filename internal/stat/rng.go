@@ -1,0 +1,84 @@
+// Package stat provides the probability and statistics toolkit used by the
+// join-quality models: exact discrete distributions (binomial,
+// hypergeometric), truncated discrete power laws, seeded random sampling, and
+// probability-generating functions with the Moments, Power, and Composition
+// properties used by the zig-zag join analysis (Newman, Strogatz, Watts,
+// "Random graphs with arbitrary degree distributions and their
+// applications").
+//
+// Everything in this package is deterministic given a seed, which keeps the
+// corpus generators, extraction simulations, and experiments reproducible.
+package stat
+
+import "math/rand"
+
+// RNG is a seeded source of randomness. All randomized components in this
+// repository draw from an RNG so that runs are reproducible. The zero value
+// is not usable; construct with NewRNG.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic random number generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent generator from r. Forked generators let
+// subsystems (corpus generation, extraction noise, query sampling) consume
+// randomness without perturbing each other's streams.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.r.Int63())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 { return r.r.Float64() }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int { return r.r.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (r *RNG) Int63() int64 { return r.r.Int63() }
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.r.Perm(n) }
+
+// Shuffle randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.r.Shuffle(n, swap) }
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate.
+func (r *RNG) NormFloat64() float64 { return r.r.NormFloat64() }
+
+// Pick returns a uniformly random element index weighted by weights, which
+// must be non-negative and not all zero. It panics on invalid input.
+func (r *RNG) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("stat: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("stat: all-zero weights")
+	}
+	x := r.r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,109 @@
+package textgen
+
+import (
+	"strings"
+
+	"joinopt/internal/stat"
+)
+
+// ContextLen is the number of context (non-entity) words in every mention
+// sentence. Fixed context length makes the cosine-similarity score of a
+// mention a simple function of its realized cue-term count k:
+// cos = k / sqrt(|pattern| · ContextLen), giving the extraction engine a
+// clean, analyzable score lattice.
+const ContextLen = 6
+
+// Sentence is a tokenized sentence plus the spans of any embedded entities.
+type Sentence struct {
+	Tokens []string
+}
+
+// MentionSentence renders a sentence expressing the pair (e1, e2) for the
+// task, embedding the sampled cue terms plus distinct noise words for a
+// total of ContextLen context words. good selects the cue-count
+// distribution (good mentions carry more cue terms than deceptive ones).
+func MentionSentence(r *stat.RNG, v TaskVocab, e1, e2 string, good bool) Sentence {
+	cues := v.SampleCues(r, good)
+	need := ContextLen - len(cues)
+	noise := SampleDistinct(r, NoiseWords, need)
+	ctx := append(cues, noise...)
+	r.Shuffle(len(ctx), func(i, j int) { ctx[i], ctx[j] = ctx[j], ctx[i] })
+
+	// Layout: E1 ctx[0:3] E2 ctx[3:6]. Word order is irrelevant to the
+	// bag-of-words scorer; this just reads plausibly.
+	tokens := make([]string, 0, ContextLen+8)
+	tokens = append(tokens, strings.Fields(e1)...)
+	tokens = append(tokens, ctx[:3]...)
+	tokens = append(tokens, strings.Fields(e2)...)
+	tokens = append(tokens, ctx[3:]...)
+	return Sentence{Tokens: tokens}
+}
+
+// MentionSentenceK renders a mention sentence realizing exactly k cue terms
+// from a random pattern (clamped to the pattern size). The corpus generator
+// uses it to plant outlier values whose mentions are too weak for any
+// standard knob setting to extract.
+func MentionSentenceK(r *stat.RNG, v TaskVocab, e1, e2 string, k int) Sentence {
+	pattern := v.Patterns[r.Intn(len(v.Patterns))]
+	if k > len(pattern) {
+		k = len(pattern)
+	}
+	if k < 0 {
+		k = 0
+	}
+	perm := r.Perm(len(pattern))
+	cues := make([]string, k)
+	for i := 0; i < k; i++ {
+		cues[i] = pattern[perm[i]]
+	}
+	noise := SampleDistinct(r, NoiseWords, ContextLen-k)
+	ctx := append(cues, noise...)
+	r.Shuffle(len(ctx), func(i, j int) { ctx[i], ctx[j] = ctx[j], ctx[i] })
+
+	tokens := make([]string, 0, ContextLen+8)
+	tokens = append(tokens, strings.Fields(e1)...)
+	tokens = append(tokens, ctx[:3]...)
+	tokens = append(tokens, strings.Fields(e2)...)
+	tokens = append(tokens, ctx[3:]...)
+	return Sentence{Tokens: tokens}
+}
+
+// FillerSentence renders an entity-free body sentence of 8-14 filler words.
+func FillerSentence(r *stat.RNG) Sentence {
+	n := 8 + r.Intn(7)
+	tokens := make([]string, n)
+	for i := range tokens {
+		tokens[i] = FillerWords[r.Intn(len(FillerWords))]
+	}
+	return Sentence{Tokens: tokens}
+}
+
+// CasualSentence renders a filler sentence that name-drops a single entity
+// without any relation context. Casual mentions make keyword queries on
+// attribute values retrieve some useless documents, so query precision
+// P(q) < 1 — as in real search interfaces.
+func CasualSentence(r *stat.RNG, entity string) Sentence {
+	n := 6 + r.Intn(5)
+	tokens := make([]string, 0, n+3)
+	for i := 0; i < n/2; i++ {
+		tokens = append(tokens, FillerWords[r.Intn(len(FillerWords))])
+	}
+	tokens = append(tokens, strings.Fields(entity)...)
+	for i := n / 2; i < n; i++ {
+		tokens = append(tokens, FillerWords[r.Intn(len(FillerWords))])
+	}
+	return Sentence{Tokens: tokens}
+}
+
+// Render joins sentences into document text, one sentence per period.
+func Render(sentences []Sentence) string {
+	var b strings.Builder
+	for i, s := range sentences {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strings.Join(s.Tokens, " "))
+		b.WriteString(" .")
+	}
+	return b.String()
+}

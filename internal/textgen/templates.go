@@ -1,0 +1,162 @@
+package textgen
+
+import "joinopt/internal/stat"
+
+// EntityType distinguishes the entity slots of an extraction task.
+type EntityType int
+
+// Entity types recognized by the tagger.
+const (
+	Company EntityType = iota
+	Person
+	Location
+)
+
+// String names the entity type.
+func (e EntityType) String() string {
+	switch e {
+	case Company:
+		return "Company"
+	case Person:
+		return "Person"
+	case Location:
+		return "Location"
+	default:
+		return "Unknown"
+	}
+}
+
+// TaskVocab describes the linguistic profile of one extraction task: the
+// entity types of its two slots, the extraction-pattern vocabularies
+// (several patterns of a few cue terms each — what a Snowball-style system
+// learns), and the strength distributions controlling how many cue terms a
+// good or bad (deceptive) mention sentence carries.
+type TaskVocab struct {
+	Task  string
+	Slot1 EntityType
+	Slot2 EntityType
+
+	// Patterns are cue-term vectors. A mention sentence realizes k terms of
+	// one pattern; the extraction engine scores the sentence by cosine
+	// similarity against its learned patterns, so k determines the score.
+	Patterns [][]string
+
+	// GoodCueDist[k] is the probability that a good mention realizes k cue
+	// terms (index 0 unused); BadCueDist likewise for deceptive mentions.
+	GoodCueDist []float64
+	BadCueDist  []float64
+}
+
+// NoiseWords is the shared pool of context filler words. Disjoint from all
+// pattern vocabularies so cue counts are exact.
+var NoiseWords = []string{
+	"yesterday", "reportedly", "announced", "quarter", "analysts", "shares",
+	"market", "growth", "revenue", "statement", "officials", "spokesperson",
+	"investors", "earnings", "annual", "regional", "sources", "industry",
+	"outlook", "forecast", "meeting", "board", "strategy", "record",
+	"customers", "products", "services", "operations", "decline", "surge",
+}
+
+// FillerWords build the body sentences of documents; also disjoint from the
+// pattern vocabularies.
+var FillerWords = []string{
+	"the", "committee", "reviewed", "several", "proposals", "during",
+	"a", "lengthy", "session", "that", "covered", "budget", "matters",
+	"and", "staffing", "plans", "for", "next", "year", "while", "members",
+	"debated", "various", "options", "before", "adjourning", "late",
+	"afternoon", "with", "agreement", "on", "most", "items", "pending",
+	"further", "review", "by", "regional", "coordinators",
+}
+
+// Standard tasks matching the paper's workloads: EX = Executives⟨Company,
+// CEO⟩, HQ = Headquarters⟨Company, Location⟩, MG = Mergers⟨Company,
+// MergedWith⟩.
+var (
+	// VocabHQ is the Headquarters task profile.
+	VocabHQ = TaskVocab{
+		Task:  "HQ",
+		Slot1: Company,
+		Slot2: Location,
+		Patterns: [][]string{
+			{"headquartered", "principal", "offices", "campus"},
+			{"headquarters", "based", "relocated", "downtown"},
+			{"corporate", "home", "main", "complex"},
+		},
+		GoodCueDist: []float64{0, 0.15, 0.20, 0.35, 0.30},
+		BadCueDist:  []float64{0, 0.45, 0.35, 0.15, 0.05},
+	}
+
+	// VocabEX is the Executives task profile.
+	VocabEX = TaskVocab{
+		Task:  "EX",
+		Slot1: Company,
+		Slot2: Person,
+		Patterns: [][]string{
+			{"chief", "executive", "officer", "appointed"},
+			{"ceo", "named", "successor", "helm"},
+			{"leads", "president", "veteran", "boardroom"},
+		},
+		GoodCueDist: []float64{0, 0.15, 0.20, 0.35, 0.30},
+		BadCueDist:  []float64{0, 0.45, 0.35, 0.15, 0.05},
+	}
+
+	// VocabMG is the Mergers task profile.
+	VocabMG = TaskVocab{
+		Task:  "MG",
+		Slot1: Company,
+		Slot2: Company,
+		Patterns: [][]string{
+			{"merged", "acquisition", "takeover", "combined"},
+			{"acquire", "deal", "merger", "agreed"},
+			{"buyout", "purchase", "stake", "absorbed"},
+		},
+		GoodCueDist: []float64{0, 0.15, 0.20, 0.35, 0.30},
+		BadCueDist:  []float64{0, 0.45, 0.35, 0.15, 0.05},
+	}
+)
+
+// VocabByTask returns the standard task profile for the given task name, or
+// false when unknown.
+func VocabByTask(task string) (TaskVocab, bool) {
+	switch task {
+	case "HQ":
+		return VocabHQ, true
+	case "EX":
+		return VocabEX, true
+	case "MG":
+		return VocabMG, true
+	}
+	return TaskVocab{}, false
+}
+
+// SampleCues picks a pattern and a number of realized cue terms for a
+// mention of the given goodness, returning the cue terms to embed.
+func (v TaskVocab) SampleCues(r *stat.RNG, good bool) []string {
+	dist := v.GoodCueDist
+	if !good {
+		dist = v.BadCueDist
+	}
+	k := r.Pick(dist)
+	pattern := v.Patterns[r.Intn(len(v.Patterns))]
+	if k > len(pattern) {
+		k = len(pattern)
+	}
+	// Take a random subset of k cue terms from the pattern.
+	perm := r.Perm(len(pattern))
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = pattern[perm[i]]
+	}
+	return out
+}
+
+// CueTermSet returns the union of all cue terms across the task's patterns.
+func (v TaskVocab) CueTermSet() map[string]bool {
+	out := map[string]bool{}
+	for _, p := range v.Patterns {
+		for _, w := range p {
+			out[w] = true
+		}
+	}
+	return out
+}

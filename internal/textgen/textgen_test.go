@@ -1,0 +1,283 @@
+package textgen
+
+import (
+	"strings"
+	"testing"
+
+	"joinopt/internal/stat"
+)
+
+func TestGazetteerSizesAndUniqueness(t *testing.T) {
+	g := NewGazetteer(2000, 1500, 100)
+	if len(g.Companies) != 2000 || len(g.Persons) != 1500 || len(g.Locations) != 100 {
+		t.Fatalf("sizes %d/%d/%d", len(g.Companies), len(g.Persons), len(g.Locations))
+	}
+	for _, pool := range [][]string{g.Companies, g.Persons, g.Locations} {
+		seen := map[string]bool{}
+		for _, n := range pool {
+			if seen[n] {
+				t.Fatalf("duplicate name %q", n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestGazetteerDeterministic(t *testing.T) {
+	a := NewGazetteer(100, 100, 50)
+	b := NewGazetteer(100, 100, 50)
+	for i := range a.Companies {
+		if a.Companies[i] != b.Companies[i] {
+			t.Fatal("gazetteer must be deterministic")
+		}
+	}
+}
+
+func TestGazetteerOverflowDisambiguation(t *testing.T) {
+	// More companies than base combinations forces numeric suffixes.
+	n := len(companyFirst)*len(companySecond) + 5
+	g := NewGazetteer(n, 1, 1)
+	seen := map[string]bool{}
+	for _, c := range g.Companies {
+		if seen[c] {
+			t.Fatalf("duplicate company %q after overflow", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := stat.NewRNG(1)
+	pool := []string{"a", "b", "c", "d", "e"}
+	s := SampleDistinct(r, pool, 3)
+	if len(s) != 3 {
+		t.Fatalf("len %d", len(s))
+	}
+	seen := map[string]bool{}
+	for _, x := range s {
+		if seen[x] {
+			t.Fatal("duplicate in sample")
+		}
+		seen[x] = true
+	}
+}
+
+func TestSampleDistinctPanicsWhenTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SampleDistinct(stat.NewRNG(1), []string{"a"}, 2)
+}
+
+func TestVocabPatternsDisjointFromNoise(t *testing.T) {
+	noise := map[string]bool{}
+	for _, w := range NoiseWords {
+		noise[w] = true
+	}
+	for _, w := range FillerWords {
+		noise[w] = true
+	}
+	for _, v := range []TaskVocab{VocabHQ, VocabEX, VocabMG} {
+		for cue := range v.CueTermSet() {
+			if noise[cue] {
+				t.Errorf("task %s cue %q collides with noise/filler pool", v.Task, cue)
+			}
+		}
+	}
+}
+
+func TestVocabPatternsMutuallyDisjoint(t *testing.T) {
+	for _, v := range []TaskVocab{VocabHQ, VocabEX, VocabMG} {
+		seen := map[string]int{}
+		for pi, p := range v.Patterns {
+			for _, w := range p {
+				if prev, ok := seen[w]; ok {
+					t.Errorf("task %s: cue %q in patterns %d and %d", v.Task, w, prev, pi)
+				}
+				seen[w] = pi
+			}
+		}
+	}
+}
+
+func TestCueDistributionsNormalized(t *testing.T) {
+	for _, v := range []TaskVocab{VocabHQ, VocabEX, VocabMG} {
+		for _, dist := range [][]float64{v.GoodCueDist, v.BadCueDist} {
+			var s float64
+			for _, p := range dist {
+				s += p
+			}
+			if s < 0.999 || s > 1.001 {
+				t.Errorf("task %s cue dist sums to %v", v.Task, s)
+			}
+		}
+	}
+}
+
+func TestSampleCuesRespectsDistributionSupport(t *testing.T) {
+	r := stat.NewRNG(5)
+	counts := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		cues := VocabHQ.SampleCues(r, true)
+		counts[len(cues)]++
+		seen := map[string]bool{}
+		for _, c := range cues {
+			if seen[c] {
+				t.Fatal("duplicate cue term in one sample")
+			}
+			seen[c] = true
+		}
+	}
+	if counts[0] != 0 {
+		t.Error("cue count 0 should have zero probability")
+	}
+	// Good mentions should carry 4 cues more often than bad ones.
+	rBad := stat.NewRNG(5)
+	bad4 := 0
+	for i := 0; i < 2000; i++ {
+		if len(VocabHQ.SampleCues(rBad, false)) == 4 {
+			bad4++
+		}
+	}
+	if counts[4] <= bad4 {
+		t.Errorf("good 4-cue count %d should exceed bad %d", counts[4], bad4)
+	}
+}
+
+func TestMentionSentenceStructure(t *testing.T) {
+	r := stat.NewRNG(9)
+	s := MentionSentence(r, VocabHQ, "Acme Dynamics", "Pine Bluff", true)
+	text := strings.Join(s.Tokens, " ")
+	if !strings.Contains(text, "Acme Dynamics") {
+		t.Errorf("missing entity 1 in %q", text)
+	}
+	if !strings.Contains(text, "Pine Bluff") {
+		t.Errorf("missing entity 2 in %q", text)
+	}
+	// Context words = total - 4 entity tokens.
+	if len(s.Tokens) != ContextLen+4 {
+		t.Errorf("token count %d, want %d", len(s.Tokens), ContextLen+4)
+	}
+}
+
+func TestFillerSentenceHasNoEntitiesOrCues(t *testing.T) {
+	r := stat.NewRNG(2)
+	cues := map[string]bool{}
+	for _, v := range []TaskVocab{VocabHQ, VocabEX, VocabMG} {
+		for c := range v.CueTermSet() {
+			cues[c] = true
+		}
+	}
+	for i := 0; i < 100; i++ {
+		s := FillerSentence(r)
+		for _, tok := range s.Tokens {
+			if cues[tok] {
+				t.Fatalf("filler sentence contains cue %q", tok)
+			}
+		}
+	}
+}
+
+func TestCasualSentenceContainsEntity(t *testing.T) {
+	r := stat.NewRNG(3)
+	s := CasualSentence(r, "Vertex Holdings")
+	text := strings.Join(s.Tokens, " ")
+	if !strings.Contains(text, "Vertex Holdings") {
+		t.Errorf("casual sentence %q missing entity", text)
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render([]Sentence{{Tokens: []string{"a", "b"}}, {Tokens: []string{"c"}}})
+	if out != "a b . c ." {
+		t.Errorf("render %q", out)
+	}
+}
+
+func TestVocabByTask(t *testing.T) {
+	for _, name := range []string{"HQ", "EX", "MG"} {
+		v, ok := VocabByTask(name)
+		if !ok || v.Task != name {
+			t.Errorf("VocabByTask(%q) = %+v, %v", name, v, ok)
+		}
+	}
+	if _, ok := VocabByTask("nope"); ok {
+		t.Error("unknown task should return false")
+	}
+}
+
+func TestEntityTypeString(t *testing.T) {
+	if Company.String() != "Company" || Person.String() != "Person" || Location.String() != "Location" {
+		t.Error("entity type names wrong")
+	}
+	if EntityType(99).String() != "Unknown" {
+		t.Error("unknown entity type should stringify as Unknown")
+	}
+}
+
+func TestShuffledIsPermutationCopy(t *testing.T) {
+	pool := []string{"a", "b", "c", "d", "e", "f"}
+	out := textShuffled(t, pool)
+	if len(out) != len(pool) {
+		t.Fatalf("length %d", len(out))
+	}
+	seen := map[string]bool{}
+	for _, v := range out {
+		seen[v] = true
+	}
+	for _, v := range pool {
+		if !seen[v] {
+			t.Fatalf("element %q lost", v)
+		}
+	}
+	// The original slice is untouched.
+	if pool[0] != "a" || pool[5] != "f" {
+		t.Error("Shuffled mutated its input")
+	}
+	// Deterministic per seed.
+	again := textShuffled(t, pool)
+	for i := range out {
+		if out[i] != again[i] {
+			t.Fatal("Shuffled not deterministic for a fixed seed")
+		}
+	}
+}
+
+func textShuffled(t *testing.T, pool []string) []string {
+	t.Helper()
+	return Shuffled(stat.NewRNG(123), pool)
+}
+
+func TestMentionSentenceKExactCues(t *testing.T) {
+	cues := VocabHQ.CueTermSet()
+	for k := 0; k <= 4; k++ {
+		r := stat.NewRNG(int64(40 + k))
+		s := MentionSentenceK(r, VocabHQ, "Acme Dynamics", "Pine Bluff", k)
+		found := 0
+		for _, tok := range s.Tokens {
+			if cues[tok] {
+				found++
+			}
+		}
+		if found != k {
+			t.Errorf("k=%d realized %d cue terms: %v", k, found, s.Tokens)
+		}
+		if len(s.Tokens) != ContextLen+4 {
+			t.Errorf("k=%d token count %d", k, len(s.Tokens))
+		}
+	}
+	// Clamping: k beyond the pattern size realizes a full pattern.
+	r := stat.NewRNG(99)
+	s := MentionSentenceK(r, VocabHQ, "Acme Dynamics", "Pine Bluff", 10)
+	found := 0
+	for _, tok := range s.Tokens {
+		if cues[tok] {
+			found++
+		}
+	}
+	if found != 4 {
+		t.Errorf("k=10 should clamp to pattern size 4, realized %d", found)
+	}
+}

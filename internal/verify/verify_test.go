@@ -1,0 +1,141 @@
+package verify
+
+import (
+	"sync"
+	"testing"
+
+	"joinopt/internal/relation"
+	"joinopt/internal/workload"
+)
+
+var (
+	once  sync.Once
+	wl    *workload.Workload
+	wlErr error
+)
+
+func testWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	once.Do(func() {
+		wl, wlErr = workload.HQJoinEX(workload.Params{NumDocs: 1200, Seed: 13})
+	})
+	if wlErr != nil {
+		t.Fatal(wlErr)
+	}
+	return wl
+}
+
+func TestGoldVerifierExact(t *testing.T) {
+	w := testWorkload(t)
+	gold := w.DB[0].Gold("HQ")
+	v := GoldVerifier{Gold: gold}
+	acceptGood, rejectBad := Accuracy(v, gold)
+	if acceptGood != 1 || rejectBad != 1 {
+		t.Errorf("gold verifier must be exact: %v/%v", acceptGood, rejectBad)
+	}
+}
+
+func TestTemplateVerifierSeparates(t *testing.T) {
+	w := testWorkload(t)
+	v, err := NewTemplateVerifier(w.DB[0], w.Sys[0], 0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold := w.DB[0].Gold("HQ")
+	acceptGood, rejectBad := Accuracy(v, gold)
+	// Good mentions carry ≥3 cue terms 65% of the time per occurrence;
+	// deceptive ones 20%. Redundancy verification must separate clearly,
+	// while staying visibly imperfect — the paper's situation.
+	if acceptGood < 0.55 {
+		t.Errorf("template verifier accepts only %.2f of good tuples", acceptGood)
+	}
+	if rejectBad < 0.6 {
+		t.Errorf("template verifier rejects only %.2f of bad tuples", rejectBad)
+	}
+	if acceptGood > 0.99 && rejectBad > 0.99 {
+		t.Error("template verifier implausibly perfect — it should be noisy")
+	}
+}
+
+func TestTemplateVerifierThresholdTradeoff(t *testing.T) {
+	w := testWorkload(t)
+	loose, err := NewTemplateVerifier(w.DB[0], w.Sys[0], 0.4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := NewTemplateVerifier(w.DB[0], w.Sys[0], 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold := w.DB[0].Gold("HQ")
+	lg, lb := Accuracy(loose, gold)
+	sg, sb := Accuracy(strict, gold)
+	if sg > lg {
+		t.Errorf("stricter threshold should not accept more good tuples: %.2f -> %.2f", lg, sg)
+	}
+	if sb < lb {
+		t.Errorf("stricter threshold should not reject fewer bad tuples: %.2f -> %.2f", lb, sb)
+	}
+}
+
+func TestTemplateVerifierMinStrong(t *testing.T) {
+	w := testWorkload(t)
+	one, err := NewTemplateVerifier(w.DB[0], w.Sys[0], 0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := NewTemplateVerifier(w.DB[0], w.Sys[0], 0.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold := w.DB[0].Gold("HQ")
+	g1, _ := Accuracy(one, gold)
+	g2, b2 := Accuracy(two, gold)
+	if g2 > g1 {
+		t.Errorf("demanding more strong occurrences cannot accept more: %.2f -> %.2f", g1, g2)
+	}
+	// With one occurrence per tuple by construction, MinStrong=2 rejects
+	// almost everything.
+	if g2 > 0.2 || b2 < 0.9 {
+		t.Errorf("MinStrong=2 on single-occurrence tuples: accept %.2f reject %.2f", g2, b2)
+	}
+}
+
+func TestTemplateVerifierOccurrences(t *testing.T) {
+	w := testWorkload(t)
+	v, err := NewTemplateVerifier(w.DB[0], w.Sys[0], 0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold := w.DB[0].Gold("HQ")
+	found := false
+	for tup := range gold.Good {
+		if v.Occurrences(tup) > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no gold tuple has indexed occurrences")
+	}
+	if v.Occurrences(relation.Tuple{A1: "Ghost Corp", A2: "Nowhere"}) != 0 {
+		t.Error("unknown tuple should have zero occurrences")
+	}
+}
+
+func TestNewTemplateVerifierValidation(t *testing.T) {
+	w := testWorkload(t)
+	if _, err := NewTemplateVerifier(nil, w.Sys[0], 0.6, 1); err == nil {
+		t.Error("expected error for nil database")
+	}
+	if _, err := NewTemplateVerifier(w.DB[0], nil, 0.6, 1); err == nil {
+		t.Error("expected error for nil system")
+	}
+	v, err := NewTemplateVerifier(w.DB[0], w.Sys[0], 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MinScore != 0.6 || v.MinStrong != 1 {
+		t.Errorf("defaults not applied: %+v", v)
+	}
+}

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"time"
+
+	"joinopt/internal/index"
+	"joinopt/internal/join"
+)
+
+// CalibrateCosts measures the real per-operation wall times of side i's
+// substrates — IE processing (tE), Filtered Scan classification (tF), and
+// keyword querying (tQ) — over a document sample, and returns a cost model
+// in microseconds. Document retrieval has no intrinsic cost in the
+// simulator (documents live in memory), so tR is fixed at one microsecond,
+// standing in for a network/disk fetch that real deployments would measure
+// the same way. The returned model replaces the unit-free DefaultCosts when
+// callers want plan times in wall-clock terms.
+func (w *Workload) CalibrateCosts(i int) join.Costs {
+	const sample = 200
+	docs := w.DB[i].Docs
+	n := sample
+	if n > len(docs) {
+		n = len(docs)
+	}
+
+	perOp := func(op func(k int)) float64 {
+		start := time.Now()
+		for k := 0; k < n; k++ {
+			op(k)
+		}
+		elapsed := time.Since(start)
+		return float64(elapsed.Microseconds()) / float64(n)
+	}
+
+	tE := perOp(func(k int) { w.Sys[i].Scan(docs[k].Text) })
+	tF := perOp(func(k int) { w.Cls[i].Classify(docs[k].Text) })
+	values := w.Gaz.Companies
+	tQ := perOp(func(k int) { w.Ix[i].Search(index.QueryFromValue(values[k%len(values)])) })
+
+	costs := join.Costs{TR: 1, TE: tE, TF: tF, TQ: tQ}
+	// Guard against zero readings on very fast machines/small samples.
+	if costs.TE <= 0 {
+		costs.TE = join.DefaultCosts.TE
+	}
+	if costs.TF <= 0 {
+		costs.TF = join.DefaultCosts.TF
+	}
+	if costs.TQ <= 0 {
+		costs.TQ = join.DefaultCosts.TQ
+	}
+	return costs
+}

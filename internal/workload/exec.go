@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+
+	"joinopt/internal/classifier"
+	"joinopt/internal/extract"
+	"joinopt/internal/join"
+	"joinopt/internal/model"
+	"joinopt/internal/optimizer"
+)
+
+// NewExecutor builds a fresh join executor for a plan over this workload.
+func (w *Workload) NewExecutor(plan optimizer.PlanSpec) (join.Executor, error) {
+	s1 := w.Side(0, plan.Theta[0])
+	s2 := w.Side(1, plan.Theta[1])
+	switch plan.JN {
+	case optimizer.IDJN:
+		x1, err := w.NewStrategy(0, plan.X[0])
+		if err != nil {
+			return nil, err
+		}
+		x2, err := w.NewStrategy(1, plan.X[1])
+		if err != nil {
+			return nil, err
+		}
+		return join.NewIDJN(s1, s2, x1, x2)
+	case optimizer.OIJN:
+		x, err := w.NewStrategy(plan.OuterIdx, plan.X[plan.OuterIdx])
+		if err != nil {
+			return nil, err
+		}
+		return join.NewOIJN(s1, s2, plan.OuterIdx, x)
+	case optimizer.ZGJN:
+		return join.NewZGJN(s1, s2, w.Seeds)
+	default:
+		return nil, fmt.Errorf("workload: unknown algorithm %q", plan.JN)
+	}
+}
+
+// NewEnv assembles the adaptive optimizer's environment over this workload:
+// executor construction, the training-split IE characterization, and the
+// offline-measurable retrieval and join parameters. Database-specific
+// parameters are left to the on-the-fly estimator.
+func (w *Workload) NewEnv(thetas []float64) (*optimizer.Env, error) {
+	var rates [2]*extract.Rates
+	for i := 0; i < 2; i++ {
+		r, err := extract.MeasureRates(w.Sys[i], w.Train[i])
+		if err != nil {
+			return nil, err
+		}
+		rates[i] = r
+	}
+	env := &optimizer.Env{
+		NewExecutor: w.NewExecutor,
+		NumDocs:     [2]int{w.DB[0].Size(), w.DB[1].Size()},
+		Rates: func(side int, theta float64) (float64, float64) {
+			return rates[side].TP(theta), rates[side].FP(theta)
+		},
+		Thetas:         thetas,
+		Costs:          [2]model.Costs{w.Costs[0], w.Costs[1]},
+		CasualHits:     [2]float64{w.CasualHits(0), w.CasualHits(1)},
+		Mentioned:      [2]int{w.MentionedDocs(0), w.MentionedDocs(1)},
+		SeedCount:      len(w.Seeds),
+		TopK:           [2]int{w.Ix[0].TopK(), w.Ix[1].TopK()},
+		BadInGoodPrior: 0.3,
+	}
+	for i := 0; i < 2; i++ {
+		aqg, err := w.aqgParams(i)
+		if err != nil {
+			return nil, err
+		}
+		env.AQG[i] = aqg
+		// Value-query precision prior from the training corpus shape.
+		env.QPrec[i] = 0.5
+		// Classifier rates characterized on the held-out training split.
+		ctp, cfp, err := classifier.Measure(w.Cls[i], w.Train[i], w.Task[i])
+		if err != nil {
+			return nil, err
+		}
+		env.Ctp[i], env.Cfp[i] = ctp, cfp
+	}
+	return env, nil
+}
+
+// TrueInputs assembles perfect-knowledge optimizer inputs (used by the
+// model-accuracy variants of the plan-choice experiments).
+func (w *Workload) TrueInputs(thetas []float64) (*optimizer.Inputs, error) {
+	in := &optimizer.Inputs{
+		Thetas:     thetas,
+		Ov:         w.TrueOverlaps(),
+		Costs:      [2]model.Costs{w.Costs[0], w.Costs[1]},
+		CasualHits: [2]float64{w.CasualHits(0), w.CasualHits(1)},
+		Mentioned:  [2]int{w.MentionedDocs(0), w.MentionedDocs(1)},
+		SeedCount:  len(w.Seeds),
+	}
+	for side := 0; side < 2; side++ {
+		for _, theta := range thetas {
+			p, err := w.TrueParams(side, theta)
+			if err != nil {
+				return nil, err
+			}
+			in.P[side] = append(in.P[side], p)
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"testing"
+
+	"joinopt/internal/join"
+	"joinopt/internal/relation"
+	"joinopt/internal/retrieval"
+)
+
+func triple(t *testing.T) *MultiWorkload {
+	t.Helper()
+	mw, err := Multi(Params{NumDocs: 900, Seed: 21}, []string{"HQ", "EX", "MG"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mw
+}
+
+func TestMultiConstruction(t *testing.T) {
+	mw := triple(t)
+	if len(mw.DBs) != 3 || len(mw.Sys) != 3 {
+		t.Fatalf("sides %d/%d", len(mw.DBs), len(mw.Sys))
+	}
+	classes := relation.MultiOverlaps(mw.Golds())
+	allGood := relation.AllGood(3)
+	if classes[allGood] == 0 {
+		t.Error("no values good in all three relations — core layout broken")
+	}
+	// The core is present in every relation's good set.
+	if classes[allGood] < 30 {
+		t.Errorf("core overlap %d suspiciously small", classes[allGood])
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	if _, err := Multi(Params{NumDocs: 900}, []string{"HQ"}); err == nil {
+		t.Error("expected error for 1 task")
+	}
+	if _, err := Multi(Params{NumDocs: 900}, []string{"HQ", "HQ"}); err == nil {
+		t.Error("expected error for repeated task")
+	}
+	if _, err := Multi(Params{NumDocs: 900}, []string{"HQ", "XX"}); err == nil {
+		t.Error("expected error for unknown task")
+	}
+}
+
+func TestMultiIDJNExecution(t *testing.T) {
+	mw := triple(t)
+	sides := []*join.Side{mw.Side(0, 0.4), mw.Side(1, 0.4), mw.Side(2, 0.4)}
+	strats := []retrieval.Strategy{mw.Scan(0), mw.Scan(1), mw.Scan(2)}
+	e, err := join.NewMultiIDJN(sides, strats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := join.RunMulti(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sides {
+		if st.DocsProcessed[i] != mw.DBs[i].Size() {
+			t.Errorf("side %d processed %d docs", i, st.DocsProcessed[i])
+		}
+	}
+	if st.GoodTuples == 0 {
+		t.Error("no good 3-way tuples")
+	}
+	if st.BadTuples == 0 {
+		t.Error("no bad 3-way tuples at theta 0.4")
+	}
+	// Direct recomputation of the n-way products.
+	good, total := 0, 0
+	vals := map[string]bool{}
+	for _, r := range st.Rels {
+		for _, v := range r.JoinValues() {
+			vals[v] = true
+		}
+	}
+	for v := range vals {
+		g, tot := 1, 1
+		for _, r := range st.Rels {
+			g *= r.GoodOcc(v)
+			tot *= r.GoodOcc(v) + r.BadOcc(v)
+		}
+		good += g
+		total += tot
+	}
+	if st.GoodTuples != good || st.BadTuples != total-good {
+		t.Errorf("incremental counts (%d, %d) != direct (%d, %d)",
+			st.GoodTuples, st.BadTuples, good, total-good)
+	}
+}
+
+func TestMultiModelAccuracy(t *testing.T) {
+	mw := triple(t)
+	m, err := mw.TrueMultiModel(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sides := []*join.Side{mw.Side(0, 0.4), mw.Side(1, 0.4), mw.Side(2, 0.4)}
+	strats := []retrieval.Strategy{mw.Scan(0), mw.Scan(1), mw.Scan(2)}
+	e, err := join.NewMultiIDJN(sides, strats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := join.RunMulti(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	D := mw.DBs[0].Size()
+	est, err := m.Estimate([]int{D, D, D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioIn(t, "3-way good", est.Good, float64(st.GoodTuples), 0.4, 2.5)
+	ratioIn(t, "3-way bad", est.Bad, float64(st.BadTuples), 0.4, 2.5)
+	tm, err := m.Time([]int{D, D, D}, []join.Costs{mw.Costs[0], mw.Costs[1], mw.Costs[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm <= 0 {
+		t.Error("no time predicted")
+	}
+}
+
+func TestMultiIDJNValidation(t *testing.T) {
+	mw := triple(t)
+	if _, err := join.NewMultiIDJN([]*join.Side{mw.Side(0, 0.4)}, []retrieval.Strategy{mw.Scan(0)}); err == nil {
+		t.Error("expected error for 1 side")
+	}
+	if _, err := join.NewMultiIDJN(
+		[]*join.Side{mw.Side(0, 0.4), mw.Side(1, 0.4)},
+		[]retrieval.Strategy{mw.Scan(0)}); err == nil {
+		t.Error("expected error for arity mismatch")
+	}
+	if _, err := join.NewMultiIDJN(
+		[]*join.Side{mw.Side(0, 0.4), mw.Side(1, 0.4)},
+		[]retrieval.Strategy{mw.Scan(0), nil}); err == nil {
+		t.Error("expected error for nil strategy")
+	}
+}

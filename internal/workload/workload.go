@@ -1,0 +1,297 @@
+// Package workload assembles end-to-end experimental setups mirroring the
+// paper's evaluation (§VII): two text databases hosting a pair of
+// extraction tasks (HQ = Headquarters⟨Company, Location⟩, EX =
+// Executives⟨Company, CEO⟩, MG = Mergers⟨Company, MergedWith⟩), trained
+// retrieval machinery (FS classifier, AQG queries), tuned IE systems,
+// search interfaces with top-k caps, and seed values for the zig-zag join.
+// All value-overlap sets (Agg, Agb, Abg, Abb) and frequency distributions
+// are controlled, including planted high-frequency never-extracted outlier
+// values that reproduce the paper's bad-tuple overestimation cases.
+package workload
+
+import (
+	"fmt"
+
+	"joinopt/internal/classifier"
+	"joinopt/internal/corpus"
+	"joinopt/internal/extract"
+	"joinopt/internal/index"
+	"joinopt/internal/join"
+	"joinopt/internal/qxtract"
+	"joinopt/internal/relation"
+	"joinopt/internal/retrieval"
+	"joinopt/internal/stat"
+	"joinopt/internal/textgen"
+)
+
+// Params scales a workload.
+type Params struct {
+	// NumDocs is the number of documents in the first database (and the
+	// second, unless NumDocs2 is set).
+	NumDocs int
+	// NumDocs2, when positive, sizes the second database differently: the
+	// relation content (values, mentions, document targets) stays the
+	// same, so a larger NumDocs2 means a bigger haystack of empty and
+	// casual documents around the same needles. Asymmetric sizes exercise
+	// the optimizer's outer-relation choice and the rectangle traversal.
+	NumDocs2 int
+	// Seed drives all generation randomness.
+	Seed int64
+	// TopK is the search-interface result cap; 0 picks a size-proportional
+	// default (max(10, NumDocs/400)), mirroring the tight caps of real
+	// search interfaces — the factor that bounds query-based join
+	// algorithms (§IV).
+	TopK int
+}
+
+// DefaultParams is the bench-scale configuration: large enough for the
+// power-law and sampling behaviour to be visible, small enough for tests.
+var DefaultParams = Params{NumDocs: 4000, Seed: 1}
+
+// Workload is a fully wired two-database join task.
+type Workload struct {
+	Params Params
+
+	Gaz        *textgen.Gazetteer
+	DB         [2]*corpus.DB // DB[i] hosts Task[i]
+	Train      [2]*corpus.DB
+	Task       [2]string
+	Sys        [2]*extract.System
+	Ix         [2]*index.Index
+	Cls        [2]classifier.Classifier
+	AQGQueries [2][]qxtract.Query
+	Costs      [2]join.Costs
+
+	// Seeds are join values with good tuples in both relations, used to
+	// seed ZGJN executions.
+	Seeds []string
+}
+
+// HQJoinEX builds the paper's primary workload: HQ hosted on an NYT96-like
+// database, EX on an NYT95-like database.
+func HQJoinEX(p Params) (*Workload, error) { return Pair(p, "HQ", "EX") }
+
+// MGJoinEX builds the workload of the paper's motivating Example 1.1:
+// Mergers (hosted on a SeekingAlpha-like database) joined with Executives
+// (hosted on a WSJ-like database).
+func MGJoinEX(p Params) (*Workload, error) { return Pair(p, "MG", "EX") }
+
+// Pair builds a two-task workload over the standard tasks ("HQ", "EX",
+// "MG"), with controlled value overlap between the two relations and
+// same-shaped training databases for the classifier and query learners.
+func Pair(p Params, task1, task2 string) (*Workload, error) {
+	if p.NumDocs < 400 {
+		return nil, fmt.Errorf("workload: NumDocs must be at least 400, got %d", p.NumDocs)
+	}
+	if p.NumDocs2 == 0 {
+		p.NumDocs2 = p.NumDocs
+	}
+	if p.NumDocs2 < p.NumDocs {
+		return nil, fmt.Errorf("workload: NumDocs2 (%d) must be at least NumDocs (%d)", p.NumDocs2, p.NumDocs)
+	}
+	if task1 == task2 {
+		return nil, fmt.Errorf("workload: tasks must differ, got %q twice", task1)
+	}
+	if p.TopK == 0 {
+		p.TopK = p.NumDocs / 400
+		if p.TopK < 10 {
+			p.TopK = 10
+		}
+	}
+	w := &Workload{Params: p, Task: [2]string{task1, task2}}
+
+	vocabs := [2]textgen.TaskVocab{}
+	for i, task := range w.Task {
+		v, ok := textgen.VocabByTask(task)
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown task %q (want HQ, EX, or MG)", task)
+		}
+		vocabs[i] = v
+	}
+
+	nGood := p.NumDocs * 15 / 100 // |Dg| target per task
+	nBad := p.NumDocs * 8 / 100   // |Db| target per task
+	// Good values per task: sized so the mention density stays near 1.2
+	// mentions per good document (power-law mean ≈ 1.9 per value). Sparse
+	// co-occurrence keeps the zig-zag graph weakly connected, as in the
+	// paper's corpora, where ZGJN's reach is limited.
+	n := nGood * 13 / 20
+	// Bad values per task: enough that the bad mentions can cover the bad
+	// documents with comfortable margin even on small corpora and in the
+	// outlier-free training splits.
+	nb := n * 7 / 10
+
+	// The company pool splits into a shuffled value universe (join values
+	// of both tasks) and a reserved tail for the MG task's second
+	// attribute, when present.
+	valueUniverse := 2*n + nb + 60
+	mgExtra := 0
+	for _, v := range vocabs {
+		if v.Slot2 == textgen.Company {
+			mgExtra = 2*n + 40
+		}
+	}
+	w.Gaz = textgen.NewGazetteer(valueUniverse+mgExtra, 2*n+40, 400)
+	shuffled := textgen.Shuffled(stat.NewRNG(p.Seed+7), w.Gaz.Companies[:valueUniverse])
+	mgSeconds := w.Gaz.Companies[valueUniverse:]
+
+	// Value ranges over the shuffled pool. The layout fixes the overlap
+	// sets: Agg = n/2; each relation's bad values overlap its own and the
+	// other relation's good values.
+	goodVals := [2][]string{shuffled[0:n], shuffled[n/2 : n/2+n]}
+	badVals := [2][]string{shuffled[3*n/4 : 3*n/4+nb], shuffled[n/4 : n/4+nb]}
+	outliers := shuffled[3*n/2+1 : 3*n/2+5]
+	outlierFreq := nBad / 3
+	if outlierFreq > 40 {
+		outlierFreq = 40
+	}
+	if outlierFreq < 4 {
+		outlierFreq = 4
+	}
+
+	specFor := func(i int, withOutliers bool) (corpus.RelationSpec, error) {
+		v := vocabs[i]
+		spec := corpus.RelationSpec{
+			Vocab:         v,
+			GoodValues:    goodVals[i],
+			BadValues:     badVals[i],
+			GoodFreq:      stat.MustPowerLaw(2.0, 20),
+			BadFreq:       stat.MustPowerLaw(2.2, 15),
+			NumGoodDocs:   nGood,
+			NumBadDocs:    nBad,
+			BadInGoodRate: 0.3,
+		}
+		switch v.Task {
+		case "HQ":
+			spec.Schema = relation.Schema{Name: "Headquarters", Attr1: "Company", Attr2: "Location"}
+			spec.GoodSeconds = w.Gaz.Locations[:200]
+			spec.BadSeconds = w.Gaz.Locations[200:400]
+		case "EX":
+			spec.Schema = relation.Schema{Name: "Executives", Attr1: "Company", Attr2: "CEO"}
+			spec.GoodSeconds = w.Gaz.Persons[:n+20]
+			spec.BadSeconds = w.Gaz.Persons[n+20 : 2*n+40]
+		case "MG":
+			spec.Schema = relation.Schema{Name: "Mergers", Attr1: "Company", Attr2: "MergedWith"}
+			spec.GoodSeconds = mgSeconds[:n+20]
+			spec.BadSeconds = mgSeconds[n+20 : 2*n+40]
+		default:
+			return spec, fmt.Errorf("workload: no spec template for task %q", v.Task)
+		}
+		if withOutliers {
+			spec.Outliers = outliers
+			spec.OutlierFreq = outlierFreq
+		}
+		return spec, nil
+	}
+
+	sizeOf := func(i int) int {
+		if i == 1 {
+			return p.NumDocs2
+		}
+		return p.NumDocs
+	}
+	gen := func(name string, seed int64, i int, withOutliers bool) (*corpus.DB, error) {
+		spec, err := specFor(i, withOutliers)
+		if err != nil {
+			return nil, err
+		}
+		return corpus.Generate(corpus.Config{
+			Name: name, NumDocs: sizeOf(i), Seed: seed,
+			Relations:  []corpus.RelationSpec{spec},
+			CasualRate: 0.45, CasualPool: w.Gaz.Companies,
+		})
+	}
+	var err error
+	// Target databases carry the planted outlier values; the training
+	// databases do not. IE-system rates are characterized on the training
+	// split (as in the paper, where Snowball is trained and characterized on
+	// NYT96), so database-specific outlier quirks are invisible to the
+	// models — the source of the paper's bad-tuple overestimation cases.
+	if w.DB[0], err = gen("target-"+task1, p.Seed+1, 0, true); err != nil {
+		return nil, err
+	}
+	if w.DB[1], err = gen("target-"+task2, p.Seed+2, 1, true); err != nil {
+		return nil, err
+	}
+	if w.Train[0], err = gen("train-"+task1, p.Seed+3, 0, false); err != nil {
+		return nil, err
+	}
+	if w.Train[1], err = gen("train-"+task2, p.Seed+4, 1, false); err != nil {
+		return nil, err
+	}
+
+	tagger := extract.NewTagger(w.Gaz)
+	for i := 0; i < 2; i++ {
+		if w.Sys[i], err = extract.NewSystemFromVocab(vocabs[i], tagger); err != nil {
+			return nil, err
+		}
+		// Plan sweeps re-process the same documents under many knob
+		// settings; memoizing the scored candidates makes the threshold the
+		// only per-plan work.
+		w.Sys[i].EnableCache()
+	}
+
+	for i := 0; i < 2; i++ {
+		w.Ix[i] = join.BuildIndex(w.DB[i], p.TopK)
+		w.Costs[i] = join.DefaultCosts
+		cls, err := classifier.TrainRules(w.Train[i], w.Task[i], 12, 2, 0.5)
+		if err != nil {
+			// Fall back to naive Bayes when rule induction cannot meet the
+			// precision floor on this training draw.
+			b, berr := classifier.TrainBayes(w.Train[i], w.Task[i], 0)
+			if berr != nil {
+				return nil, fmt.Errorf("workload: training side-%d classifier: %v (bayes: %v)", i+1, err, berr)
+			}
+			w.Cls[i] = b
+		} else {
+			w.Cls[i] = cls
+		}
+		if w.AQGQueries[i], err = qxtract.Learn(w.Train[i], w.Task[i], 12); err != nil {
+			return nil, fmt.Errorf("workload: learning side-%d queries: %w", i+1, err)
+		}
+	}
+
+	// ZGJN seeds: good values shared by both relations with nonzero
+	// frequency in both databases.
+	g1 := w.DB[0].Stats(task1).GoodFreq
+	g2 := w.DB[1].Stats(task2).GoodFreq
+	for _, v := range shuffled[n/2 : n] {
+		if g1[v] > 0 && g2[v] > 0 {
+			w.Seeds = append(w.Seeds, v)
+			if len(w.Seeds) >= 3 {
+				break
+			}
+		}
+	}
+	if len(w.Seeds) == 0 {
+		return nil, fmt.Errorf("workload: no shared good values available as ZGJN seeds")
+	}
+	return w, nil
+}
+
+// Side builds a join.Side for side i (0 or 1) at knob configuration theta.
+func (w *Workload) Side(i int, theta float64) *join.Side {
+	return &join.Side{
+		DB:     w.DB[i],
+		Index:  w.Ix[i],
+		System: w.Sys[i],
+		Theta:  theta,
+		Gold:   w.DB[i].Gold(w.Task[i]),
+		Costs:  w.Costs[i],
+	}
+}
+
+// NewStrategy builds a fresh retrieval strategy of the given kind for side
+// i. Strategies are stateful; every execution needs its own.
+func (w *Workload) NewStrategy(i int, kind retrieval.Kind) (retrieval.Strategy, error) {
+	switch kind {
+	case retrieval.SC:
+		return retrieval.NewScan(w.DB[i].Size()), nil
+	case retrieval.FS:
+		return retrieval.NewFilteredScan(w.DB[i], w.Cls[i])
+	case retrieval.AQG:
+		return retrieval.NewAQG(w.Ix[i], w.AQGQueries[i])
+	default:
+		return nil, fmt.Errorf("workload: unknown retrieval strategy %q", kind)
+	}
+}

@@ -1,0 +1,486 @@
+// Package joinopt is a quality-aware join optimizer for relations extracted
+// from text, reproducing "Join Optimization of Information Extraction
+// Output: Quality Matters!" (Jain, Ipeirotis, Doan, Gravano — ICDE 2009).
+//
+// Unlike relational join optimization, joining the output of information
+// extraction (IE) systems must optimize for *output quality* as well as
+// execution time: different join execution plans — combinations of IE
+// system configurations θ, document retrieval strategies (Scan, Filtered
+// Scan, Automatic Query Generation), and join algorithms (Independent,
+// Outer/Inner, Zig-Zag) — produce vastly different numbers of good and bad
+// join tuples. This package exposes:
+//
+//   - synthetic text-database workloads with controlled extraction-quality
+//     characteristics (NewHQJoinEX),
+//   - the three join execution algorithms, runnable under any plan
+//     (Task.Execute),
+//   - analytical models predicting each plan's output quality and time
+//     (Task.EvaluatePlans),
+//   - the quality-aware optimizer, including the fully adaptive variant
+//     that estimates database statistics on the fly (Task.Optimize,
+//     Task.RunAdaptive),
+//   - and the experiment drivers regenerating every figure and table of
+//     the paper's evaluation (Task.Figure, Task.TableII).
+package joinopt
+
+import (
+	"fmt"
+	"sync"
+
+	"joinopt/internal/experiments"
+	"joinopt/internal/join"
+	"joinopt/internal/optimizer"
+	"joinopt/internal/relation"
+	"joinopt/internal/retrieval"
+	"joinopt/internal/verify"
+	"joinopt/internal/workload"
+)
+
+// Algorithm names a join execution algorithm (§IV of the paper).
+type Algorithm string
+
+// The join algorithms.
+const (
+	IndependentJoin Algorithm = "IDJN" // extract both relations independently
+	OuterInnerJoin  Algorithm = "OIJN" // query the inner relation per outer value
+	ZigZagJoin      Algorithm = "ZGJN" // interleaved querying of both relations
+)
+
+// Strategy names a document retrieval strategy (§III-B).
+type Strategy string
+
+// The document retrieval strategies.
+const (
+	Scan          Strategy = "SC"
+	FilteredScan  Strategy = "FS"
+	AutoQueryGen  Strategy = "AQG"
+	QueryRetrieve Strategy = "" // placeholder for sides reached by value queries
+)
+
+// Plan is a join execution plan ⟨E1⟨θ1⟩, E2⟨θ2⟩, X1, X2, JN⟩
+// (Definition 3.1).
+type Plan struct {
+	Algorithm Algorithm
+	Theta     [2]float64
+	X         [2]Strategy
+	// OuterIdx selects the Outer/Inner join's outer relation (0 or 1).
+	OuterIdx int
+}
+
+// String renders the plan compactly.
+func (p Plan) String() string { return p.spec().String() }
+
+func (p Plan) spec() optimizer.PlanSpec {
+	return optimizer.PlanSpec{
+		JN:       optimizer.Algorithm(p.Algorithm),
+		Theta:    p.Theta,
+		X:        [2]retrieval.Kind{retrieval.Kind(p.X[0]), retrieval.Kind(p.X[1])},
+		OuterIdx: p.OuterIdx,
+	}
+}
+
+func planFromSpec(s optimizer.PlanSpec) Plan {
+	return Plan{
+		Algorithm: Algorithm(s.JN),
+		Theta:     s.Theta,
+		X:         [2]Strategy{Strategy(s.X[0]), Strategy(s.X[1])},
+		OuterIdx:  s.OuterIdx,
+	}
+}
+
+// Requirement is a user quality preference (§III-C): at least TauG good
+// join tuples with at most TauB bad ones.
+type Requirement struct {
+	TauG int
+	TauB int
+}
+
+// WorkloadParams scales a synthetic workload.
+type WorkloadParams struct {
+	// NumDocs is the number of documents in the first text database
+	// (minimum 400), and the second unless NumDocs2 is set.
+	NumDocs int
+	// NumDocs2, when positive, sizes the second database differently (same
+	// relation content in a bigger haystack).
+	NumDocs2 int
+	// Seed drives all generation randomness; equal seeds reproduce equal
+	// workloads.
+	Seed int64
+	// TopK caps the search interface's results per query; 0 selects a
+	// size-proportional default.
+	TopK int
+}
+
+// Task is a two-database extraction join task: text databases, IE systems,
+// trained retrieval machinery, and gold labels for evaluation.
+type Task struct {
+	w *workload.Workload
+
+	verifierMu sync.Mutex
+	verifiers  map[verifierKey]*verify.TemplateVerifier
+}
+
+// NewHQJoinEX builds the paper's primary workload: the Headquarters
+// ⟨Company, Location⟩ relation hosted on one database joined with the
+// Executives⟨Company, CEO⟩ relation hosted on another.
+func NewHQJoinEX(p WorkloadParams) (*Task, error) {
+	return NewTaskPair(p, "HQ", "EX")
+}
+
+// NewMGJoinEX builds the workload of the paper's motivating Example 1.1:
+// Mergers⟨Company, MergedWith⟩ (a SeekingAlpha-like blog database) joined
+// with Executives⟨Company, CEO⟩ (a WSJ-like archive).
+func NewMGJoinEX(p WorkloadParams) (*Task, error) {
+	return NewTaskPair(p, "MG", "EX")
+}
+
+// NewTaskPair builds a workload joining any two of the standard extraction
+// tasks: "HQ" (Headquarters), "EX" (Executives), "MG" (Mergers).
+func NewTaskPair(p WorkloadParams, rel1, rel2 string) (*Task, error) {
+	if p.NumDocs == 0 {
+		p.NumDocs = workload.DefaultParams.NumDocs
+	}
+	if p.Seed == 0 {
+		p.Seed = workload.DefaultParams.Seed
+	}
+	w, err := workload.Pair(workload.Params{NumDocs: p.NumDocs, NumDocs2: p.NumDocs2, Seed: p.Seed, TopK: p.TopK}, rel1, rel2)
+	if err != nil {
+		return nil, err
+	}
+	return &Task{w: w}, nil
+}
+
+// Relations names the two extracted relations.
+func (t *Task) Relations() (r1, r2 string) {
+	return t.w.DB[0].Gold(t.w.Task[0]).Schema.String(), t.w.DB[1].Gold(t.w.Task[1]).Schema.String()
+}
+
+// DatabaseSizes returns the document counts of the two databases.
+func (t *Task) DatabaseSizes() (d1, d2 int) { return t.w.DB[0].Size(), t.w.DB[1].Size() }
+
+// JoinTuple is one labelled join result ⟨A, B, C⟩: ⟨A, B⟩ ∈ R1,
+// ⟨A, C⟩ ∈ R2; Good reports whether both contributing tuples are correct.
+type JoinTuple struct {
+	A, B, C string
+	Good    bool
+}
+
+// Outcome summarizes an executed join.
+type Outcome struct {
+	Plan Plan
+
+	// GoodTuples and BadTuples are the output composition under the
+	// paper's semantics (Σ_a gr1(a)·gr2(a) and its complement).
+	GoodTuples int
+	BadTuples  int
+
+	// Time is the cost-model execution time (documents retrieved,
+	// processed, filtered, and queries issued, each charged with the
+	// workload's per-operation constants).
+	Time float64
+
+	// Work counters per side.
+	DocsProcessed [2]int
+	DocsRetrieved [2]int
+	Queries       [2]int
+
+	state *join.State
+}
+
+// Tuples returns the labelled join tuples in deterministic order.
+func (o *Outcome) Tuples() []JoinTuple {
+	if o.state == nil {
+		return nil
+	}
+	src := o.state.Result.Tuples()
+	out := make([]JoinTuple, len(src))
+	for i, lt := range src {
+		out[i] = JoinTuple{A: lt.Tuple.A, B: lt.Tuple.B, C: lt.Tuple.C, Good: lt.Good}
+	}
+	return out
+}
+
+func outcomeOf(plan Plan, st *join.State) *Outcome {
+	return &Outcome{
+		Plan:          plan,
+		GoodTuples:    st.GoodPairs,
+		BadTuples:     st.BadPairs,
+		Time:          st.Time,
+		DocsProcessed: st.DocsProcessed,
+		DocsRetrieved: st.DocsRetrieved,
+		Queries:       st.Queries,
+		state:         st,
+	}
+}
+
+// StopCondition inspects a running execution after each step; returning
+// true stops it. Progress carries the live output composition and work.
+type StopCondition func(Progress) bool
+
+// Progress is the observable state of a running execution.
+type Progress struct {
+	GoodTuples, BadTuples int
+	DocsProcessed         [2]int
+	DocsRetrieved         [2]int
+	Queries               [2]int
+	Time                  float64
+}
+
+// Execute runs a specific plan to exhaustion, or until stop returns true
+// (stop may be nil).
+func (t *Task) Execute(plan Plan, stop StopCondition) (*Outcome, error) {
+	exec, err := t.w.NewExecutor(plan.spec())
+	if err != nil {
+		return nil, err
+	}
+	var sf join.StopFunc
+	if stop != nil {
+		sf = func(st *join.State) bool {
+			return stop(Progress{
+				GoodTuples: st.GoodPairs, BadTuples: st.BadPairs,
+				DocsProcessed: st.DocsProcessed, DocsRetrieved: st.DocsRetrieved,
+				Queries: st.Queries, Time: st.Time,
+			})
+		}
+	}
+	st, err := join.Run(exec, sf)
+	if err != nil {
+		return nil, err
+	}
+	return outcomeOf(plan, st), nil
+}
+
+// PlanEvaluation is the optimizer's model-based assessment of one plan.
+type PlanEvaluation struct {
+	Plan     Plan
+	Feasible bool
+	// EstimatedGood/Bad are the predicted output composition at the
+	// minimal effort meeting the requirement.
+	EstimatedGood float64
+	EstimatedBad  float64
+	EstimatedTime float64
+	Reason        string // why the plan is infeasible, when it is
+}
+
+// Knobs are the IE knob settings explored by the optimizer.
+var Knobs = []float64{0.4, 0.8}
+
+// EvaluatePlans assesses the full plan space against a requirement using
+// perfect-knowledge model parameters measured on the task's databases —
+// the configuration of the paper's model-accuracy experiments.
+func (t *Task) EvaluatePlans(req Requirement) ([]PlanEvaluation, error) {
+	in, err := t.w.TrueInputs(Knobs)
+	if err != nil {
+		return nil, err
+	}
+	plans := optimizer.Enumerate(Knobs)
+	out := make([]PlanEvaluation, 0, len(plans))
+	for _, p := range plans {
+		ev, err := optimizer.Evaluate(p, in, optimizer.Requirement(req))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PlanEvaluation{
+			Plan:          planFromSpec(ev.Plan),
+			Feasible:      ev.Feasible,
+			EstimatedGood: ev.Quality.Good,
+			EstimatedBad:  ev.Quality.Bad,
+			EstimatedTime: ev.Time,
+			Reason:        ev.Reason,
+		})
+	}
+	return out, nil
+}
+
+// Optimize picks the fastest plan predicted to meet the requirement, using
+// perfect-knowledge parameters. Use RunAdaptive for the end-to-end variant
+// that estimates parameters on the fly.
+func (t *Task) Optimize(req Requirement) (PlanEvaluation, error) {
+	in, err := t.w.TrueInputs(Knobs)
+	if err != nil {
+		return PlanEvaluation{}, err
+	}
+	best, _, err := optimizer.Choose(optimizer.Enumerate(Knobs), in, optimizer.Requirement(req))
+	if err != nil {
+		return PlanEvaluation{}, err
+	}
+	return PlanEvaluation{
+		Plan:          planFromSpec(best.Plan),
+		Feasible:      true,
+		EstimatedGood: best.Quality.Good,
+		EstimatedBad:  best.Quality.Bad,
+		EstimatedTime: best.Time,
+	}, nil
+}
+
+// AdaptiveOutcome is the result of an end-to-end adaptive optimization run.
+type AdaptiveOutcome struct {
+	// Final is the executed outcome of the (last) chosen plan.
+	Final *Outcome
+	// ChosenPlans lists the optimizer's decisions in order; more than one
+	// entry means the optimizer switched plans mid-execution.
+	ChosenPlans []Plan
+	// TotalTime includes the estimation pilot and any abandoned work.
+	TotalTime float64
+}
+
+// RunAdaptive executes the paper's §VI protocol: scan a pilot window,
+// estimate the database statistics by maximum likelihood, choose the
+// fastest plan predicted to meet the requirement, execute it, and
+// re-optimize at checkpoints.
+func (t *Task) RunAdaptive(req Requirement) (*AdaptiveOutcome, error) {
+	env, err := t.w.NewEnv(Knobs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := optimizer.RunAdaptive(env, optimizer.Requirement(req), optimizer.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := &AdaptiveOutcome{TotalTime: res.TotalTime}
+	for _, d := range res.Decisions {
+		out.ChosenPlans = append(out.ChosenPlans, planFromSpec(d.Chosen.Plan))
+	}
+	if res.Final != nil && len(out.ChosenPlans) > 0 {
+		out.Final = outcomeOf(out.ChosenPlans[len(out.ChosenPlans)-1], res.Final)
+	}
+	return out, nil
+}
+
+// Figure regenerates one of the paper's evaluation figures ("fig9",
+// "fig10", "fig11", "fig12") and returns its text rendering (estimated vs
+// actual series).
+func (t *Task) Figure(id string) (string, error) {
+	switch id {
+	case "fig9":
+		f, err := experiments.Fig9(t.w)
+		return render(f, err)
+	case "fig10":
+		f, err := experiments.Fig10(t.w)
+		return render(f, err)
+	case "fig11":
+		f, err := experiments.Fig11(t.w)
+		return render(f, err)
+	case "fig12":
+		f, err := experiments.Fig12(t.w)
+		return render(f, err)
+	default:
+		return "", fmt.Errorf("joinopt: unknown figure %q (want fig9..fig12)", id)
+	}
+}
+
+// TableII regenerates the paper's Table II over this task and returns its
+// text rendering.
+func (t *Task) TableII() (string, error) {
+	rows, err := experiments.Table2(t.w)
+	if err != nil {
+		return "", err
+	}
+	return experiments.RenderTable2(rows).String(), nil
+}
+
+func render(f interface{ String() string }, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return f.String(), nil
+}
+
+// GoldJoinSize returns the number of good join tuples derivable from the
+// gold sets at full extraction — an upper bound on any plan's good output.
+func (t *Task) GoldJoinSize() int {
+	g1 := t.w.DB[0].Gold(t.w.Task[0])
+	g2 := t.w.DB[1].Gold(t.w.Task[1])
+	byVal := map[string]int{}
+	for tup := range g2.Good {
+		byVal[tup.A1]++
+	}
+	total := 0
+	for tup := range g1.Good {
+		total += byVal[tup.A1]
+	}
+	return total
+}
+
+// Gold reports whether a join tuple is good per the gold sets.
+func (t *Task) Gold(jt JoinTuple) bool {
+	g1 := t.w.DB[0].Gold(t.w.Task[0])
+	g2 := t.w.DB[1].Gold(t.w.Task[1])
+	return g1.IsGood(relation.Tuple{A1: jt.A, A2: jt.B}) && g2.IsGood(relation.Tuple{A1: jt.A, A2: jt.C})
+}
+
+// OptimizeRobust is Optimize with a z-sigma robustness margin (§VI's
+// robustness checking): a plan qualifies only if its sigma-discounted good
+// output still reaches τg and its sigma-inflated bad output stays within
+// τb. Larger sigma yields more conservative (and typically costlier) plans.
+func (t *Task) OptimizeRobust(req Requirement, sigma float64) (PlanEvaluation, error) {
+	in, err := t.w.TrueInputs(Knobs)
+	if err != nil {
+		return PlanEvaluation{}, err
+	}
+	in.RobustSigma = sigma
+	best, _, err := optimizer.Choose(optimizer.Enumerate(Knobs), in, optimizer.Requirement(req))
+	if err != nil {
+		return PlanEvaluation{}, err
+	}
+	return PlanEvaluation{
+		Plan:          planFromSpec(best.Plan),
+		Feasible:      true,
+		EstimatedGood: best.Quality.Good,
+		EstimatedBad:  best.Quality.Bad,
+		EstimatedTime: best.Time,
+	}, nil
+}
+
+// OptimizePrecision picks the fastest plan delivering at least good tuples
+// at output precision p — the paper's "minimum precision" preference,
+// mapped onto the (τg, τb) model.
+func (t *Task) OptimizePrecision(good int, p float64) (PlanEvaluation, Requirement, error) {
+	return t.optimizePreferred(optimizer.MinPrecision{Good: good, P: p})
+}
+
+// OptimizeRecall picks the fastest plan delivering at least the given
+// fraction of the achievable good join tuples — the paper's "minimum
+// recall at the end of execution" preference.
+func (t *Task) OptimizeRecall(recall float64) (PlanEvaluation, Requirement, error) {
+	return t.optimizePreferred(optimizer.MinRecall{Recall: recall})
+}
+
+func (t *Task) optimizePreferred(pref optimizer.Preference) (PlanEvaluation, Requirement, error) {
+	in, err := t.w.TrueInputs(Knobs)
+	if err != nil {
+		return PlanEvaluation{}, Requirement{}, err
+	}
+	best, req, err := optimizer.ChoosePreferred(optimizer.Enumerate(Knobs), in, pref)
+	if err != nil {
+		return PlanEvaluation{}, Requirement(req), err
+	}
+	return PlanEvaluation{
+		Plan:          planFromSpec(best.Plan),
+		Feasible:      true,
+		EstimatedGood: best.Quality.Good,
+		EstimatedBad:  best.Quality.Bad,
+		EstimatedTime: best.Time,
+	}, Requirement(req), nil
+}
+
+// OptimizeWithinBudget maximizes the predicted good output within a hard
+// execution-time budget — the paper's time-budget preference. maxBadPerGood
+// bounds the output's bad-to-good ratio (≤ 0 disables the constraint).
+func (t *Task) OptimizeWithinBudget(budget, maxBadPerGood float64) (PlanEvaluation, error) {
+	in, err := t.w.TrueInputs(Knobs)
+	if err != nil {
+		return PlanEvaluation{}, err
+	}
+	best, err := optimizer.ChooseWithinBudget(optimizer.Enumerate(Knobs), in, budget, maxBadPerGood)
+	if err != nil {
+		return PlanEvaluation{}, err
+	}
+	return PlanEvaluation{
+		Plan:          planFromSpec(best.Plan),
+		Feasible:      true,
+		EstimatedGood: best.Quality.Good,
+		EstimatedBad:  best.Quality.Bad,
+		EstimatedTime: best.Time,
+	}, nil
+}

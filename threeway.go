@@ -1,0 +1,111 @@
+package joinopt
+
+import (
+	"joinopt/internal/join"
+	"joinopt/internal/retrieval"
+	"joinopt/internal/workload"
+)
+
+// ThreeWayTask is the higher-order join extension (the paper's stated
+// future work): three relations extracted from three text databases and
+// joined on the shared attribute. The extension's scope is scan-based
+// independent extraction (the n-ary IDJN) with the generalized 2^n-class
+// composition model.
+type ThreeWayTask struct {
+	mw *workload.MultiWorkload
+}
+
+// NewThreeWay builds a three-relation join task over distinct standard
+// tasks ("HQ", "EX", "MG").
+func NewThreeWay(p WorkloadParams, rel1, rel2, rel3 string) (*ThreeWayTask, error) {
+	if p.NumDocs == 0 {
+		p.NumDocs = workload.DefaultParams.NumDocs
+	}
+	if p.Seed == 0 {
+		p.Seed = workload.DefaultParams.Seed
+	}
+	mw, err := workload.Multi(workload.Params{NumDocs: p.NumDocs, Seed: p.Seed, TopK: p.TopK},
+		[]string{rel1, rel2, rel3})
+	if err != nil {
+		return nil, err
+	}
+	return &ThreeWayTask{mw: mw}, nil
+}
+
+// Relations names the three extracted relations.
+func (t *ThreeWayTask) Relations() [3]string {
+	var out [3]string
+	for i, g := range t.mw.Golds() {
+		out[i] = g.Schema.String()
+	}
+	return out
+}
+
+// ThreeWayOutcome summarizes an executed three-way join.
+type ThreeWayOutcome struct {
+	GoodTuples    int
+	BadTuples     int
+	Time          float64
+	DocsProcessed [3]int
+}
+
+// ThreeWayProgress is the live state visible to a stop condition.
+type ThreeWayProgress struct {
+	GoodTuples, BadTuples int
+	DocsProcessed         [3]int
+	Time                  float64
+}
+
+// Execute runs the n-ary Independent Join with per-side knob settings,
+// scanning all three databases, until exhaustion or stop returns true.
+func (t *ThreeWayTask) Execute(thetas [3]float64, stop func(ThreeWayProgress) bool) (*ThreeWayOutcome, error) {
+	sides := make([]*join.Side, 3)
+	strats := make([]retrieval.Strategy, 3)
+	for i := 0; i < 3; i++ {
+		sides[i] = t.mw.Side(i, thetas[i])
+		strats[i] = t.mw.Scan(i)
+	}
+	e, err := join.NewMultiIDJN(sides, strats)
+	if err != nil {
+		return nil, err
+	}
+	var sf func(*join.MultiState) bool
+	if stop != nil {
+		sf = func(st *join.MultiState) bool {
+			return stop(ThreeWayProgress{
+				GoodTuples: st.GoodTuples, BadTuples: st.BadTuples,
+				DocsProcessed: [3]int{st.DocsProcessed[0], st.DocsProcessed[1], st.DocsProcessed[2]},
+				Time:          st.Time,
+			})
+		}
+	}
+	st, err := join.RunMulti(e, sf)
+	if err != nil {
+		return nil, err
+	}
+	return &ThreeWayOutcome{
+		GoodTuples:    st.GoodTuples,
+		BadTuples:     st.BadTuples,
+		Time:          st.Time,
+		DocsProcessed: [3]int{st.DocsProcessed[0], st.DocsProcessed[1], st.DocsProcessed[2]},
+	}, nil
+}
+
+// Predict estimates the full-scan output composition at the given knob
+// settings with the generalized composition model (all sides share one θ
+// for simplicity of the extension's surface).
+func (t *ThreeWayTask) Predict(theta float64) (good, bad float64, err error) {
+	m, err := t.mw.TrueMultiModel(theta)
+	if err != nil {
+		return 0, 0, err
+	}
+	efforts := make([]int, len(t.mw.DBs))
+	for i, db := range t.mw.DBs {
+		efforts[i] = db.Size()
+	}
+	q, err := m.Estimate(efforts)
+	if err != nil {
+		return 0, 0, err
+	}
+	return q.Good, q.Bad, nil
+}

@@ -1,0 +1,68 @@
+package joinopt
+
+import (
+	"joinopt/internal/relation"
+	"joinopt/internal/verify"
+)
+
+// Verification façade: the evaluation-side substrate of §VII. A template
+// (redundancy) verifier re-examines the corpus contexts in which a base
+// tuple occurs and accepts it only when enough occurrences match the
+// extraction templates strongly. Verifiers are built lazily per side and
+// per (minScore, minStrong) configuration and cached on the task.
+
+type verifierKey struct {
+	side      int
+	minScore  float64
+	minStrong int
+}
+
+func (t *Task) templateVerifier(side int, minScore float64, minStrong int) (*verify.TemplateVerifier, error) {
+	t.verifierMu.Lock()
+	defer t.verifierMu.Unlock()
+	if t.verifiers == nil {
+		t.verifiers = map[verifierKey]*verify.TemplateVerifier{}
+	}
+	key := verifierKey{side: side, minScore: minScore, minStrong: minStrong}
+	if v, ok := t.verifiers[key]; ok {
+		return v, nil
+	}
+	v, err := verify.NewTemplateVerifier(t.w.DB[side], t.w.Sys[side], minScore, minStrong)
+	if err != nil {
+		return nil, err
+	}
+	t.verifiers[key] = v
+	return v, nil
+}
+
+// VerifyJoinTuple re-verifies a join tuple by checking both contributing
+// base tuples with the template verifier: the tuple passes only when each
+// base tuple has at least minStrong corpus occurrences whose contexts score
+// at least minScore against the extraction patterns. This is how output
+// would be vetted without gold labels.
+func (t *Task) VerifyJoinTuple(jt JoinTuple, minScore float64, minStrong int) (bool, error) {
+	v1, err := t.templateVerifier(0, minScore, minStrong)
+	if err != nil {
+		return false, err
+	}
+	v2, err := t.templateVerifier(1, minScore, minStrong)
+	if err != nil {
+		return false, err
+	}
+	return v1.Verify(relation.Tuple{A1: jt.A, A2: jt.B}) &&
+		v2.Verify(relation.Tuple{A1: jt.A, A2: jt.C}), nil
+}
+
+// VerifierAccuracy grades the template verifier per side against the gold
+// sets: acceptGood[i] is the fraction of side-i gold good tuples accepted,
+// rejectBad[i] the fraction of gold bad tuples rejected.
+func (t *Task) VerifierAccuracy(minScore float64, minStrong int) (acceptGood, rejectBad [2]float64, err error) {
+	for side := 0; side < 2; side++ {
+		v, verr := t.templateVerifier(side, minScore, minStrong)
+		if verr != nil {
+			return acceptGood, rejectBad, verr
+		}
+		acceptGood[side], rejectBad[side] = verify.Accuracy(v, t.w.DB[side].Gold(t.w.Task[side]))
+	}
+	return acceptGood, rejectBad, nil
+}
