@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# check is the full pre-merge gate: static checks, a clean build, the test
+# suite, and the race detector over the concurrent packages (the optimizer's
+# parallel plan-space search and the join executors it drives).
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/optimizer/... ./internal/join/...
+
+# bench runs the optimizer plan-space benchmarks: sequential vs parallel
+# Choose on the 256-plan space, and cold vs warm memoization sweeps.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkChoose' -benchtime 10x .

@@ -433,6 +433,89 @@ func BenchmarkOptimizerChoose(b *testing.B) {
 	}
 }
 
+var (
+	bench8kOnce sync.Once
+	bench8kIn   *optimizer.Inputs
+	bench8kErr  error
+)
+
+// bench8kThetas give a 16·4² = 256-plan space — the scale where the
+// optimizer's own decision cost starts to matter.
+var bench8kThetas = []float64{0.2, 0.4, 0.6, 0.8}
+
+// bench8kInputs builds perfect-knowledge inputs over an 8k-document corpus
+// with four knob settings, shared across the plan-space benchmarks.
+func bench8kInputs(b *testing.B) *optimizer.Inputs {
+	b.Helper()
+	bench8kOnce.Do(func() {
+		var w *workload.Workload
+		w, bench8kErr = workload.HQJoinEX(workload.Params{NumDocs: 8000, Seed: 1})
+		if bench8kErr != nil {
+			return
+		}
+		bench8kIn, bench8kErr = w.TrueInputs(bench8kThetas)
+	})
+	if bench8kErr != nil {
+		b.Fatal(bench8kErr)
+	}
+	return bench8kIn
+}
+
+// BenchmarkChoosePlanSpace8k compares sequential and parallel plan-space
+// evaluation over the 256-plan space on the 8k-document corpus. Each
+// iteration starts from a cold memo cache (Reset), so the comparison
+// measures the full model evaluation work, not cache hits.
+func BenchmarkChoosePlanSpace8k(b *testing.B) {
+	in := bench8kInputs(b)
+	plans := optimizer.Enumerate(bench8kThetas)
+	req := optimizer.Requirement{TauG: 32, TauB: 320}
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			cp := *in
+			cp.Workers = workers
+			cp.Reset()
+			if _, _, err := optimizer.Choose(plans, &cp, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkChooseMemoizationSweep measures a Table II-style sweep: all 23
+// requirements decided against the same 256-plan space. The cold variant
+// drops the memo cache before every sweep; the warm variant keeps one Inputs
+// across the sweep the way Table2 and the adaptive driver do, so repeated
+// binary-search probes reuse cached closures and model points.
+func BenchmarkChooseMemoizationSweep(b *testing.B) {
+	in := bench8kInputs(b)
+	plans := optimizer.Enumerate(bench8kThetas)
+	sweep := func(b *testing.B, cp *optimizer.Inputs) {
+		for _, req := range experiments.Table2Reqs {
+			if _, _, err := optimizer.Choose(plans, cp, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cp := *in
+			cp.Reset()
+			sweep(b, &cp)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cp := *in
+		cp.Reset()
+		sweep(b, &cp) // populate once; construction excluded below
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweep(b, &cp)
+		}
+	})
+}
+
 // BenchmarkMLEEstimate measures one maximum-likelihood parameter fit over a
 // 20% observation window.
 func BenchmarkMLEEstimate(b *testing.B) {

@@ -24,15 +24,17 @@ import (
 
 func main() {
 	var (
-		docs = flag.Int("docs", 4000, "documents per text database")
-		seed = flag.Int64("seed", 1, "generation seed")
-		topK = flag.Int("topk", 0, "search-interface result cap (0 = size-proportional default)")
-		exp  = flag.String("exp", "all", "experiment to run: fig9|fig10|fig11|fig12|table2|estimation|all")
-		task = flag.String("task", "hqex", "join task: hqex (the paper's primary) or mgex (Example 1.1)")
-		th   = flag.Float64("theta", 0.4, "knob setting for the accuracy figures (fig9-fig11)")
-		csv  = flag.String("csv", "", "also write results as CSV files into this directory")
+		docs    = flag.Int("docs", 4000, "documents per text database")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		topK    = flag.Int("topk", 0, "search-interface result cap (0 = size-proportional default)")
+		exp     = flag.String("exp", "all", "experiment to run: fig9|fig10|fig11|fig12|table2|estimation|all")
+		task    = flag.String("task", "hqex", "join task: hqex (the paper's primary) or mgex (Example 1.1)")
+		th      = flag.Float64("theta", 0.4, "knob setting for the accuracy figures (fig9-fig11)")
+		csv     = flag.String("csv", "", "also write results as CSV files into this directory")
+		workers = flag.Int("workers", 0, "optimizer plan-evaluation workers (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
+	experiments.ChooseWorkers = *workers
 	if *csv != "" {
 		if err := os.MkdirAll(*csv, 0o755); err != nil {
 			fatal(err)

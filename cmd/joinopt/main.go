@@ -21,22 +21,23 @@ import (
 
 func main() {
 	var (
-		docs   = flag.Int("docs", 4000, "documents per text database")
-		seed   = flag.Int64("seed", 1, "generation seed")
-		tauG   = flag.Int("taug", 16, "minimum number of good join tuples (τg)")
-		tauB   = flag.Int("taub", 160, "maximum number of bad join tuples (τb)")
-		mode   = flag.String("mode", "adaptive", "adaptive|optimize|robust|plan|budget|precision|recall")
-		sigma  = flag.Float64("sigma", 2, "robust mode: confidence margin in standard deviations")
-		budget = flag.Float64("budget", 5000, "budget mode: execution-time budget")
-		prec   = flag.Float64("prec", 0.5, "precision mode: minimum output precision")
-		recall = flag.Float64("recall", 0.25, "recall mode: minimum fraction of achievable good tuples")
-		jn     = flag.String("jn", "IDJN", "plan mode: join algorithm IDJN|OIJN|ZGJN")
-		th1    = flag.Float64("theta1", 0.4, "plan mode: knob θ1 (minSim)")
-		th2    = flag.Float64("theta2", 0.4, "plan mode: knob θ2 (minSim)")
-		x1     = flag.String("x1", "SC", "plan mode: retrieval strategy for R1 (SC|FS|AQG)")
-		x2     = flag.String("x2", "SC", "plan mode: retrieval strategy for R2 (SC|FS|AQG)")
-		outer  = flag.Int("outer", 0, "plan mode: OIJN outer side (0 or 1)")
-		show   = flag.Int("show", 5, "number of join tuples to print")
+		docs    = flag.Int("docs", 4000, "documents per text database")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		tauG    = flag.Int("taug", 16, "minimum number of good join tuples (τg)")
+		tauB    = flag.Int("taub", 160, "maximum number of bad join tuples (τb)")
+		mode    = flag.String("mode", "adaptive", "adaptive|optimize|robust|plan|budget|precision|recall")
+		sigma   = flag.Float64("sigma", 2, "robust mode: confidence margin in standard deviations")
+		budget  = flag.Float64("budget", 5000, "budget mode: execution-time budget")
+		prec    = flag.Float64("prec", 0.5, "precision mode: minimum output precision")
+		recall  = flag.Float64("recall", 0.25, "recall mode: minimum fraction of achievable good tuples")
+		jn      = flag.String("jn", "IDJN", "plan mode: join algorithm IDJN|OIJN|ZGJN")
+		th1     = flag.Float64("theta1", 0.4, "plan mode: knob θ1 (minSim)")
+		th2     = flag.Float64("theta2", 0.4, "plan mode: knob θ2 (minSim)")
+		x1      = flag.String("x1", "SC", "plan mode: retrieval strategy for R1 (SC|FS|AQG)")
+		x2      = flag.String("x2", "SC", "plan mode: retrieval strategy for R2 (SC|FS|AQG)")
+		outer   = flag.Int("outer", 0, "plan mode: OIJN outer side (0 or 1)")
+		show    = flag.Int("show", 5, "number of join tuples to print")
+		workers = flag.Int("workers", 0, "optimizer plan-evaluation workers (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	task.Workers = *workers
 	r1, r2 := task.Relations()
 	d1, d2 := task.DatabaseSizes()
 	fmt.Printf("task: %s (%d docs) ⋈ %s (%d docs)\n", r1, d1, r2, d2)

@@ -12,6 +12,11 @@ import (
 	"joinopt/internal/workload"
 )
 
+// ChooseWorkers bounds the optimizer's plan-evaluation worker pool in the
+// experiment drivers (0 = one worker per CPU, 1 = sequential); see
+// optimizer.Inputs.Workers. cmd/experiments exposes it as -workers.
+var ChooseWorkers int
+
 // Table2Reqs are the 23 (τg, τb) combinations of the paper's Table II.
 var Table2Reqs = []optimizer.Requirement{
 	{TauG: 1, TauB: 20},
@@ -111,6 +116,10 @@ func Table2(w *workload.Workload) ([]Table2Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One Inputs serves all 23 requirement sweeps below: the optimizer
+	// memoizes plan closures and model points on it, so later requirements
+	// mostly re-probe cached efforts instead of recomputing the models.
+	in.Workers = ChooseWorkers
 
 	rows := make([]Table2Row, 0, len(Table2Reqs))
 	for _, req := range Table2Reqs {

@@ -62,6 +62,10 @@ type Options struct {
 	// pilot window is extended before trusting the estimates (§VI's
 	// robustness checking; default 0.45, capped at 3 extensions).
 	StableDivergence float64
+	// ChooseWorkers bounds the plan-space evaluation worker pool used at
+	// the pilot and at every adaptive checkpoint (0 = one worker per CPU,
+	// 1 = sequential; see Inputs.Workers).
+	ChooseWorkers int
 }
 
 func (o *Options) defaults() {
@@ -93,6 +97,12 @@ type Result struct {
 	Decisions []Decision
 	TotalTime float64
 	Inputs    *Inputs // the estimated inputs behind the final decision
+
+	// CheckpointErrs records Choose failures at adaptive checkpoints (e.g.
+	// no plan feasible under the sharpened estimates). The driver falls
+	// back to finishing the current plan rather than aborting, but the
+	// errors are surfaced here instead of being silently dropped.
+	CheckpointErrs []error
 }
 
 // RunAdaptive executes the end-to-end §VI protocol: scan a pilot window,
@@ -113,6 +123,7 @@ func RunAdaptive(env *Env, req Requirement, opts Options) (*Result, error) {
 	}
 	res.Pilot = pilotState
 	res.TotalTime += pilotState.Time
+	in.Workers = opts.ChooseWorkers
 	res.Inputs = in
 
 	plans := Enumerate(env.Thetas)
@@ -151,17 +162,26 @@ func RunAdaptive(env *Env, req Requirement, opts Options) (*Result, error) {
 		checkpoint++
 		if scanLike(best.Plan) {
 			if in2, err := env.estimateInputs(st, best.Plan.Theta[0]); err == nil {
+				in2.Workers = opts.ChooseWorkers
 				in = in2
 				res.Inputs = in
 			}
 		}
+		// The billed time at this decision point includes the in-flight
+		// executor's work, whether we keep going (finish bills the full
+		// state) or switch (billed below) — keeping decision timestamps
+		// monotone and consistent with the switch path.
+		now := res.TotalTime + st.Time
 		nb, _, err := Choose(plans, in, req)
 		if err != nil || nb.Plan == best.Plan {
 			// No better option (or no feasible plan under the sharpened
 			// estimates): finish the current execution.
-			if err == nil {
+			if err != nil {
+				res.CheckpointErrs = append(res.CheckpointErrs,
+					fmt.Errorf("optimizer: checkpoint at t=%.0f: %w", now, err))
+			} else {
 				best = nb
-				res.Decisions = append(res.Decisions, Decision{AtTime: res.TotalTime, Chosen: nb})
+				res.Decisions = append(res.Decisions, Decision{AtTime: now, Chosen: nb})
 			}
 			if _, runErr := join.Run(exec, func(s *join.State) bool {
 				return effortReached(best.Plan, s, best.Effort)
@@ -291,13 +311,23 @@ func (env *Env) achieved(st *join.State, plan PlanSpec) (good, bad float64) {
 		if err != nil {
 			// Too little data for a fit: fall back to the raw pair count
 			// scaled by the training precision proxy.
-			prec := tp / (tp + fp)
-			total := float64(st.GoodPairs + st.BadPairs)
-			return total * prec, total * (1 - prec)
+			return fallbackSplit(float64(st.GoodPairs+st.BadPairs), tp, fp)
 		}
 		ests[side] = est
 	}
 	return estimate.PairSplit(obs[0], obs[1], ests[0], ests[1])
+}
+
+// fallbackSplit apportions total output pairs by the training precision
+// proxy tp/(tp+fp). The zero-rate case (tp = fp = 0) is guarded: the ratio
+// would be NaN, which poisons the τg stopping comparison in finish (NaN ≥ τg
+// is always false, so the run would never stop on quality).
+func fallbackSplit(total, tp, fp float64) (good, bad float64) {
+	prec := 0.0
+	if tp+fp > 0 {
+		prec = tp / (tp + fp)
+	}
+	return total * prec, total * (1 - prec)
 }
 
 // progressSnapshot summarizes an execution's effort for stall detection.

@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"math"
 	"testing"
 
 	"joinopt/internal/join"
@@ -96,6 +97,32 @@ func TestOptionsDefaults(t *testing.T) {
 	custom.defaults()
 	if custom.PilotFraction != 0.2 || custom.MaxSwitches != 1 {
 		t.Errorf("custom options overridden: %+v", custom)
+	}
+}
+
+// TestFallbackSplitZeroRates is the regression test for the achieved-quality
+// NaN: when the estimator has too little data, achieved falls back to
+// splitting the raw pair count by tp/(tp+fp) — with tp = fp = 0 (e.g. a knob
+// setting whose training characterization found no extractions yet) that
+// ratio was NaN, so the adaptive driver's τg stopping condition could never
+// fire. The guarded split must stay finite.
+func TestFallbackSplitZeroRates(t *testing.T) {
+	good, bad := fallbackSplit(10, 0, 0)
+	if math.IsNaN(good) || math.IsNaN(bad) {
+		t.Fatalf("zero-rate fallback is NaN: good=%v bad=%v", good, bad)
+	}
+	if good != 0 || bad != 10 {
+		t.Errorf("zero-rate split (%v, %v), want (0, 10): with no evidence of true positives all output counts as bad", good, bad)
+	}
+	// Normal cases are unchanged by the guard.
+	if g, b := fallbackSplit(10, 0.5, 0.5); g != 5 || b != 5 {
+		t.Errorf("balanced split (%v, %v)", g, b)
+	}
+	if g, b := fallbackSplit(8, 0.9, 0.1); math.Abs(g-7.2) > 1e-9 || math.Abs(b-0.8) > 1e-9 {
+		t.Errorf("skewed split (%v, %v)", g, b)
+	}
+	if g, b := fallbackSplit(0, 0, 0); g != 0 || b != 0 {
+		t.Errorf("empty output split (%v, %v)", g, b)
 	}
 }
 

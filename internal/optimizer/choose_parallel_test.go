@@ -1,0 +1,117 @@
+package optimizer_test
+
+import (
+	"reflect"
+	"testing"
+
+	"joinopt/internal/optimizer"
+	"joinopt/internal/workload"
+)
+
+// TestChooseParallelMatchesSequential asserts the determinism guarantee:
+// for any worker count, Choose returns the identical best plan and
+// evaluation list as the sequential path over the full enumerated plan
+// space — including the robust and rectangle-ratio variants — across
+// several workload seeds. Running it under `go test -race` doubles as the
+// concurrency-safety proof for the shared model state.
+func TestChooseParallelMatchesSequential(t *testing.T) {
+	reqs := []optimizer.Requirement{
+		{TauG: 4, TauB: 60},
+		{TauG: 32, TauB: 400},
+	}
+	for _, seed := range []int64{3, 11} {
+		w, err := workload.HQJoinEX(workload.Params{NumDocs: 800, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := w.TrueInputs(thetas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		variants := []struct {
+			name  string
+			setup func(in *optimizer.Inputs)
+		}{
+			{"point", func(*optimizer.Inputs) {}},
+			{"robust", func(in *optimizer.Inputs) { in.RobustSigma = 2 }},
+			{"rect", func(in *optimizer.Inputs) { in.RectangleRatios = []float64{0.5, 2} }},
+		}
+		plans := optimizer.Enumerate(thetas)
+		for _, v := range variants {
+			for _, req := range reqs {
+				seqIn := *base
+				v.setup(&seqIn)
+				seqIn.Workers = 1
+				wantBest, wantEvals, wantErr := optimizer.Choose(plans, &seqIn, req)
+				if wantErr != nil {
+					t.Fatalf("seed %d %s: sequential Choose: %v", seed, v.name, wantErr)
+				}
+				for _, workers := range []int{1, 2, 3, 8} {
+					parIn := *base
+					v.setup(&parIn)
+					parIn.Workers = workers
+					gotBest, gotEvals, gotErr := optimizer.Choose(plans, &parIn, req)
+					if gotErr != nil {
+						t.Fatalf("seed %d %s workers=%d: %v", seed, v.name, workers, gotErr)
+					}
+					if gotBest != wantBest {
+						t.Errorf("seed %d %s workers=%d: best plan diverged:\n  got  %+v\n  want %+v",
+							seed, v.name, workers, gotBest, wantBest)
+					}
+					if !reflect.DeepEqual(gotEvals, wantEvals) {
+						t.Errorf("seed %d %s workers=%d: evaluation list diverged", seed, v.name, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChooseParallelErrorMatchesSequential asserts the failure paths agree
+// too: an infeasible requirement yields the same error and the same full
+// evaluation list from every worker count, and a broken plan spec (unknown
+// θ) yields the same lowest-index evaluation error.
+func TestChooseParallelErrorMatchesSequential(t *testing.T) {
+	_, in := testSetup(t)
+	plans := optimizer.Enumerate(thetas)
+
+	// No feasible plan: error plus complete evaluation list.
+	req := optimizer.Requirement{TauG: 1 << 20, TauB: 1 << 30}
+	seqIn := *in
+	seqIn.Workers = 1
+	_, wantEvals, wantErr := optimizer.Choose(plans, &seqIn, req)
+	if wantErr == nil {
+		t.Fatal("expected no-feasible-plan error")
+	}
+	for _, workers := range []int{2, 8} {
+		parIn := *in
+		parIn.Workers = workers
+		_, gotEvals, gotErr := optimizer.Choose(plans, &parIn, req)
+		if gotErr == nil || gotErr.Error() != wantErr.Error() {
+			t.Errorf("workers=%d: error %v, want %v", workers, gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(gotEvals, wantEvals) {
+			t.Errorf("workers=%d: evaluation list diverged on infeasible requirement", workers)
+		}
+	}
+
+	// Evaluation error: the unknown θ in the middle of the list must
+	// surface as the same (lowest-index) error regardless of worker count.
+	broken := append(append([]optimizer.PlanSpec{}, plans[:4]...),
+		optimizer.PlanSpec{JN: optimizer.IDJN, Theta: [2]float64{0.123, 0.4}})
+	broken = append(broken, plans[4:]...)
+	seqIn2 := *in
+	seqIn2.Workers = 1
+	_, _, wantErr = optimizer.Choose(broken, &seqIn2, optimizer.Requirement{TauG: 4, TauB: 60})
+	if wantErr == nil {
+		t.Fatal("expected evaluation error for unknown θ")
+	}
+	for _, workers := range []int{2, 8} {
+		parIn := *in
+		parIn.Workers = workers
+		_, _, gotErr := optimizer.Choose(broken, &parIn, optimizer.Requirement{TauG: 4, TauB: 60})
+		if gotErr == nil || gotErr.Error() != wantErr.Error() {
+			t.Errorf("workers=%d: error %v, want %v", workers, gotErr, wantErr)
+		}
+	}
+}

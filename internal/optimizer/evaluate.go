@@ -3,6 +3,9 @@ package optimizer
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"joinopt/internal/model"
 )
@@ -36,24 +39,32 @@ type Eval struct {
 // For IDJN the two sides advance proportionally — the square-traversal
 // heuristic of §VI, minimizing the sum of documents processed given that
 // their product drives the good-pair count.
+//
+// The plan closures and every quality/time point they produce are memoized
+// on the Inputs (see memo.go), so repeated evaluations — across the binary
+// search, the rectangle ratios, adaptive checkpoints, and requirement
+// sweeps — do not recompute identical model state.
 func Evaluate(plan PlanSpec, in *Inputs, req Requirement) (Eval, error) {
-	best, err := evaluateFns(plan, in, req, func() (*planFns, string, error) {
-		return planFuncs(plan, in)
-	})
+	fns, reason, err := in.memoFns(plan, 1)
+	if err != nil {
+		return Eval{}, err
+	}
+	best, err := evaluateFns(plan, in, req, fns, reason)
 	if err != nil {
 		return Eval{}, err
 	}
 	// Rectangle exploration for IDJN: try the skewed aspects and keep the
 	// cheapest feasible evaluation.
 	if plan.JN == IDJN && len(in.RectangleRatios) > 0 {
-		for _, r := range in.RectangleRatios {
-			ratio := r
+		for _, ratio := range in.RectangleRatios {
 			if ratio == 1 || ratio <= 0 {
 				continue
 			}
-			ev, err := evaluateFns(plan, in, req, func() (*planFns, string, error) {
-				return idjnFuncsRatio(plan, in, ratio)
-			})
+			fns, reason, err := in.memoFns(plan, ratio)
+			if err != nil {
+				return Eval{}, err
+			}
+			ev, err := evaluateFns(plan, in, req, fns, reason)
 			if err != nil {
 				return Eval{}, err
 			}
@@ -67,11 +78,7 @@ func Evaluate(plan PlanSpec, in *Inputs, req Requirement) (Eval, error) {
 
 // evaluateFns runs the minimal-effort search against one set of plan
 // closures.
-func evaluateFns(plan PlanSpec, in *Inputs, req Requirement, build func() (*planFns, string, error)) (Eval, error) {
-	fns, reason, err := build()
-	if err != nil {
-		return Eval{}, err
-	}
+func evaluateFns(plan PlanSpec, in *Inputs, req Requirement, fns *planFns, reason string) (Eval, error) {
 	if fns == nil {
 		return Eval{Plan: plan, Reason: reason}, nil
 	}
@@ -98,7 +105,10 @@ func evaluateFns(plan PlanSpec, in *Inputs, req Requirement, build func() (*plan
 }
 
 // searchMinEffort binary-searches the smallest effort e in [1, max] with
-// good(e) ≥ τg. It returns feasible=false when even max falls short.
+// good(e) ≥ τg. It returns feasible=false when even max falls short. The
+// returned quality is always the one measured at the returned effort, so
+// Eval.Effort and Eval.Quality cannot disagree even when the quality
+// function is not perfectly monotone.
 func searchMinEffort(max int, tauG int, quality func(int) (model.Quality, error)) (int, model.Quality, bool, error) {
 	qMax, err := quality(max)
 	if err != nil {
@@ -107,8 +117,9 @@ func searchMinEffort(max int, tauG int, quality func(int) (model.Quality, error)
 	if qMax.Good < float64(tauG) {
 		return max, qMax, false, nil
 	}
+	// Invariant: (eHi, qHi) is the smallest effort measured to reach τg.
 	lo, hi := 1, max
-	qHi := qMax
+	eHi, qHi := max, qMax
 	for lo < hi {
 		mid := (lo + hi) / 2
 		q, err := quality(mid)
@@ -117,23 +128,12 @@ func searchMinEffort(max int, tauG int, quality func(int) (model.Quality, error)
 		}
 		if q.Good >= float64(tauG) {
 			hi = mid
-			qHi = q
+			eHi, qHi = mid, q
 		} else {
 			lo = mid + 1
 		}
 	}
-	if lo == hi && hi == max {
-		return max, qMax, true, nil
-	}
-	// Recompute at the boundary when the loop converged from below.
-	q, err := quality(lo)
-	if err != nil {
-		return 0, model.Quality{}, false, err
-	}
-	if q.Good < float64(tauG) {
-		q = qHi
-	}
-	return lo, q, true, nil
+	return eHi, qHi, true, nil
 }
 
 // robustQuality collapses a distributional estimate into the conservative
@@ -146,16 +146,82 @@ func robustQuality(d model.QualityDist, z float64) model.Quality {
 // Choose evaluates every plan and returns the fastest feasible one plus all
 // evaluations (for reporting). It returns an error when no plan is
 // feasible.
+//
+// Evaluation runs on a bounded worker pool (Inputs.Workers; one worker per
+// CPU by default, 1 forces the sequential path). The result is
+// deterministic and identical to the sequential path for any worker count:
+// plans are evaluated independently against read-only model state, and the
+// reduction scans the evaluations in plan order keeping the strictly
+// fastest feasible plan, so ties break toward the earlier plan exactly as
+// a sequential scan would.
 func Choose(plans []PlanSpec, in *Inputs, req Requirement) (Eval, []Eval, error) {
+	workers := in.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	if workers <= 1 {
+		return chooseSequential(plans, in, req)
+	}
+	evals := make([]Eval, len(plans))
+	errs := make([]error, len(plans))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(plans) || failed.Load() {
+					return
+				}
+				ev, err := Evaluate(plans[i], in, req)
+				if err != nil {
+					errs[i] = fmt.Errorf("optimizer: evaluating %s: %w", plans[i], err)
+					failed.Store(true)
+					return
+				}
+				evals[i] = ev
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		// Indices are handed out in order and every claimed index either
+		// completes or records its error, so the lowest recorded error is
+		// the one the sequential scan would have hit first.
+		for _, err := range errs {
+			if err != nil {
+				return Eval{}, nil, err
+			}
+		}
+	}
+	return pickBest(evals, req)
+}
+
+// chooseSequential is the single-threaded reference path.
+func chooseSequential(plans []PlanSpec, in *Inputs, req Requirement) (Eval, []Eval, error) {
 	evals := make([]Eval, 0, len(plans))
-	best := Eval{Time: math.Inf(1)}
-	found := false
 	for _, plan := range plans {
 		ev, err := Evaluate(plan, in, req)
 		if err != nil {
 			return Eval{}, nil, fmt.Errorf("optimizer: evaluating %s: %w", plan, err)
 		}
 		evals = append(evals, ev)
+	}
+	return pickBest(evals, req)
+}
+
+// pickBest reduces an evaluation list to the fastest feasible plan with the
+// deterministic tie-break (lowest time, then plan order).
+func pickBest(evals []Eval, req Requirement) (Eval, []Eval, error) {
+	best := Eval{Time: math.Inf(1)}
+	found := false
+	for _, ev := range evals {
 		if ev.Feasible && ev.Time < best.Time {
 			best = ev
 			found = true

@@ -1,0 +1,149 @@
+package optimizer
+
+import (
+	"testing"
+
+	"joinopt/internal/model"
+)
+
+// TestSearchMinEffortQualityMatchesEffort is the regression test for the
+// search-boundary bug: the returned quality must be the one measured at the
+// returned effort, even when the quality function is not perfectly monotone
+// (robust bounds and model quirks can dip locally). The old code could pair
+// effort lo with the quality measured at a larger effort.
+func TestSearchMinEffortQualityMatchesEffort(t *testing.T) {
+	// A non-monotone step profile with a dip: efforts 1..3 yield 0, 4..6
+	// yield 10, 7 dips to 3, 8..10 yield 10+effort.
+	q := func(e int) (model.Quality, error) {
+		switch {
+		case e <= 3:
+			return model.Quality{Good: 0}, nil
+		case e <= 6:
+			return model.Quality{Good: 10, Bad: float64(e)}, nil
+		case e == 7:
+			return model.Quality{Good: 3, Bad: 7}, nil
+		default:
+			return model.Quality{Good: 10 + float64(e), Bad: float64(e)}, nil
+		}
+	}
+	for tauG := 1; tauG <= 12; tauG++ {
+		e, got, feasible, err := searchMinEffort(10, tauG, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at, _ := q(e)
+		if got != at {
+			t.Errorf("τg=%d: returned quality %+v but quality(%d) = %+v — effort and quality disagree",
+				tauG, got, e, at)
+		}
+		if feasible && got.Good < float64(tauG) {
+			t.Errorf("τg=%d: feasible result below the threshold: %+v at effort %d", tauG, got, e)
+		}
+	}
+}
+
+// TestSearchMinEffortMonotone checks the standard monotone cases: minimal
+// effort, boundary hits, and infeasibility at max.
+func TestSearchMinEffortMonotone(t *testing.T) {
+	linear := func(e int) (model.Quality, error) {
+		return model.Quality{Good: float64(e)}, nil
+	}
+	e, q, feasible, err := searchMinEffort(100, 37, linear)
+	if err != nil || !feasible {
+		t.Fatalf("feasible=%v err=%v", feasible, err)
+	}
+	if e != 37 || q.Good != 37 {
+		t.Errorf("minimal effort (%d, %+v), want (37, good=37)", e, q)
+	}
+	// τg reached only at max.
+	e, q, feasible, err = searchMinEffort(100, 100, linear)
+	if err != nil || !feasible || e != 100 || q.Good != 100 {
+		t.Errorf("boundary case (%d, %+v, %v, %v)", e, q, feasible, err)
+	}
+	// Infeasible beyond max.
+	e, q, feasible, err = searchMinEffort(100, 101, linear)
+	if err != nil || feasible {
+		t.Errorf("infeasible case claims feasibility (%d, %+v)", e, q)
+	}
+	if e != 100 || q.Good != 100 {
+		t.Errorf("infeasible case should report the max-effort quality, got (%d, %+v)", e, q)
+	}
+	// max = 1 degenerate.
+	if e, _, feasible, _ := searchMinEffort(1, 1, linear); !feasible || e != 1 {
+		t.Errorf("max=1 case (%d, %v)", e, feasible)
+	}
+}
+
+// TestMemoizedEvaluateConsistent asserts the memo layer is transparent: a
+// second evaluation of the same plan space on the same Inputs (now fully
+// cached) and an evaluation after Reset (cold cache) return identical
+// results.
+func TestMemoizedEvaluateConsistent(t *testing.T) {
+	in := syntheticInputs()
+	plans := Enumerate(in.Thetas)
+	req := Requirement{TauG: 4, TauB: 1 << 20}
+	first := make([]Eval, len(plans))
+	for i, p := range plans {
+		ev, err := Evaluate(p, in, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[i] = ev
+	}
+	for i, p := range plans {
+		ev, err := Evaluate(p, in, req) // warm cache
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != first[i] {
+			t.Errorf("plan %s: warm-cache eval diverged: %+v vs %+v", p, ev, first[i])
+		}
+	}
+	in.Reset()
+	for i, p := range plans {
+		ev, err := Evaluate(p, in, req) // cold cache
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != first[i] {
+			t.Errorf("plan %s: post-Reset eval diverged: %+v vs %+v", p, ev, first[i])
+		}
+	}
+}
+
+// syntheticInputs builds a small, fully synthetic parameter set (no
+// workload generation) exercising every algorithm's closures.
+func syntheticInputs() *Inputs {
+	mkParams := func(tp, fp float64) *model.RelationParams {
+		return &model.RelationParams{
+			D: 400, Dg: 120, Db: 80, Ag: 60, Ab: 30,
+			GoodFreq:      []float64{0.5, 0.3, 0.2},
+			BadFreq:       []float64{0.7, 0.3},
+			TP:            tp,
+			FP:            fp,
+			BadInGoodFrac: 0.3,
+			Ctp:           0.9,
+			Cfp:           0.2,
+			AQG: []model.QueryParam{
+				{Hits: 40, GoodHits: 25, BadHits: 5},
+				{Hits: 30, GoodHits: 15, BadHits: 5},
+				{Hits: 25, GoodHits: 10, BadHits: 5},
+			},
+			TopK:         10,
+			QPrec:        0.5,
+			ValuesPerDoc: []float64{0.3, 0.4, 0.2, 0.1},
+		}
+	}
+	in := &Inputs{
+		Thetas:     []float64{0.4, 0.8},
+		Ov:         model.Overlaps{Agg: 40, Agb: 10, Abg: 12, Abb: 6},
+		CasualHits: [2]float64{1.5, 1.5},
+		Mentioned:  [2]int{180, 180},
+		SeedCount:  5,
+	}
+	for side := 0; side < 2; side++ {
+		in.P[side] = append(in.P[side], mkParams(0.85, 0.12), mkParams(0.6, 0.04))
+	}
+	in.Costs = [2]model.Costs{{TR: 1, TE: 2, TF: 0.1, TQ: 0.5}, {TR: 1, TE: 2, TF: 0.1, TQ: 0.5}}
+	return in
+}

@@ -116,10 +116,26 @@ type Inputs struct {
 	// aspect wins. The paper's §IV rectangle generalization; the square
 	// heuristic of §VI corresponds to the default empty list.
 	RectangleRatios []float64
+
+	// Workers bounds Choose's parallel plan-space evaluation: 0 uses one
+	// worker per available CPU (runtime.GOMAXPROCS), 1 forces the sequential
+	// path. Any worker count returns the identical best plan and evaluation
+	// list (lowest predicted time, ties broken by plan order).
+	Workers int
+
+	// memo caches derived model state (parameter lookups, plan closures,
+	// quality/time points) across Evaluate and Choose calls; see memo.go.
+	// It attaches lazily, so fresh Inputs always start with a fresh cache.
+	memo *planMemo
 }
 
-// params resolves the parameter set of side at theta.
+// params resolves the parameter set of side at theta through the memo.
 func (in *Inputs) params(side int, theta float64) (*model.RelationParams, error) {
+	return in.cachedParams(side, theta)
+}
+
+// lookupParams is the uncached resolution behind params.
+func (in *Inputs) lookupParams(side int, theta float64) (*model.RelationParams, error) {
 	for k, t := range in.Thetas {
 		if t == theta {
 			if side < 0 || side > 1 || k >= len(in.P[side]) || in.P[side][k] == nil {

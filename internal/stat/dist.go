@@ -3,13 +3,21 @@ package stat
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // lgammaCacheSize bounds the memoized log-factorial table. Corpus sizes in
 // this repository stay well below this.
 const lgammaCacheSize = 1 << 20
 
-var logFactTable []float64
+// logFactTable holds an immutable prefix of ln(n!) values; growth publishes
+// a fresh slice, so concurrent readers (parallel plan evaluation and the
+// experiment sweeps call into the distributions from many goroutines) never
+// observe a partially built table.
+var logFactTable atomic.Pointer[[]float64]
+
+var logFactMu sync.Mutex
 
 // logFact returns ln(n!) using a memoized table for small n and math.Lgamma
 // beyond it.
@@ -17,19 +25,33 @@ func logFact(n int) float64 {
 	if n < 0 {
 		panic(fmt.Sprintf("stat: logFact of negative %d", n))
 	}
-	if n < lgammaCacheSize {
-		for len(logFactTable) <= n {
-			k := len(logFactTable)
-			if k == 0 {
-				logFactTable = append(logFactTable, 0)
-				continue
-			}
-			logFactTable = append(logFactTable, logFactTable[k-1]+math.Log(float64(k)))
-		}
-		return logFactTable[n]
+	if n >= lgammaCacheSize {
+		v, _ := math.Lgamma(float64(n) + 1)
+		return v
 	}
-	v, _ := math.Lgamma(float64(n) + 1)
-	return v
+	if t := logFactTable.Load(); t != nil && n < len(*t) {
+		return (*t)[n]
+	}
+	logFactMu.Lock()
+	defer logFactMu.Unlock()
+	var old []float64
+	if t := logFactTable.Load(); t != nil {
+		if n < len(*t) {
+			return (*t)[n]
+		}
+		old = *t
+	}
+	grown := make([]float64, n+1)
+	copy(grown, old)
+	for k := len(old); k <= n; k++ {
+		if k == 0 {
+			grown[0] = 0
+			continue
+		}
+		grown[k] = grown[k-1] + math.Log(float64(k))
+	}
+	logFactTable.Store(&grown)
+	return grown[n]
 }
 
 // LogChoose returns ln(C(n, k)), or math.Inf(-1) when the coefficient is

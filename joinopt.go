@@ -116,6 +116,12 @@ type WorkloadParams struct {
 type Task struct {
 	w *workload.Workload
 
+	// Workers bounds the optimizer's parallel plan-space evaluation
+	// (0 = one worker per CPU, 1 = sequential). Any setting returns the
+	// identical plan choice; see the optimizer package's determinism
+	// guarantee.
+	Workers int
+
 	verifierMu sync.Mutex
 	verifiers  map[verifierKey]*verify.TemplateVerifier
 }
@@ -300,6 +306,7 @@ func (t *Task) Optimize(req Requirement) (PlanEvaluation, error) {
 	if err != nil {
 		return PlanEvaluation{}, err
 	}
+	in.Workers = t.Workers
 	best, _, err := optimizer.Choose(optimizer.Enumerate(Knobs), in, optimizer.Requirement(req))
 	if err != nil {
 		return PlanEvaluation{}, err
@@ -333,7 +340,7 @@ func (t *Task) RunAdaptive(req Requirement) (*AdaptiveOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := optimizer.RunAdaptive(env, optimizer.Requirement(req), optimizer.Options{})
+	res, err := optimizer.RunAdaptive(env, optimizer.Requirement(req), optimizer.Options{ChooseWorkers: t.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -419,6 +426,7 @@ func (t *Task) OptimizeRobust(req Requirement, sigma float64) (PlanEvaluation, e
 		return PlanEvaluation{}, err
 	}
 	in.RobustSigma = sigma
+	in.Workers = t.Workers
 	best, _, err := optimizer.Choose(optimizer.Enumerate(Knobs), in, optimizer.Requirement(req))
 	if err != nil {
 		return PlanEvaluation{}, err
@@ -451,6 +459,7 @@ func (t *Task) optimizePreferred(pref optimizer.Preference) (PlanEvaluation, Req
 	if err != nil {
 		return PlanEvaluation{}, Requirement{}, err
 	}
+	in.Workers = t.Workers
 	best, req, err := optimizer.ChoosePreferred(optimizer.Enumerate(Knobs), in, pref)
 	if err != nil {
 		return PlanEvaluation{}, Requirement(req), err
