@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race transparency bench
 
 # check is the full pre-merge gate: static checks, a clean build, the test
-# suite, and the race detector over the concurrent packages (the optimizer's
-# parallel plan-space search and the join executors it drives).
-check: vet build test race
+# suite, the race detector over the concurrent packages (the optimizer's
+# parallel plan-space search, the join executors it drives, and the fault
+# injection/tolerance layer), and the zero-rate fault-transparency property
+# (a profile with rate 0 must leave every execution bit-identical).
+check: vet build test race transparency
 
 build:
 	$(GO) build ./...
@@ -17,7 +19,10 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/optimizer/... ./internal/join/...
+	$(GO) test -race ./internal/optimizer/... ./internal/join/... ./internal/faults/... ./internal/workload/...
+
+transparency:
+	$(GO) test ./internal/join/ -run TestZeroRateFaultTransparency -count=1
 
 # bench runs the optimizer plan-space benchmarks: sequential vs parallel
 # Choose on the 256-plan space, and cold vs warm memoization sweeps.

@@ -19,6 +19,7 @@ import (
 
 	"joinopt/internal/eval"
 	"joinopt/internal/experiments"
+	"joinopt/internal/faults"
 	"joinopt/internal/workload"
 )
 
@@ -27,11 +28,12 @@ func main() {
 		docs    = flag.Int("docs", 4000, "documents per text database")
 		seed    = flag.Int64("seed", 1, "generation seed")
 		topK    = flag.Int("topk", 0, "search-interface result cap (0 = size-proportional default)")
-		exp     = flag.String("exp", "all", "experiment to run: fig9|fig10|fig11|fig12|table2|estimation|all")
+		exp     = flag.String("exp", "all", "experiment to run: fig9|fig10|fig11|fig12|table2|estimation|faultsweep|all")
 		task    = flag.String("task", "hqex", "join task: hqex (the paper's primary) or mgex (Example 1.1)")
 		th      = flag.Float64("theta", 0.4, "knob setting for the accuracy figures (fig9-fig11)")
 		csv     = flag.String("csv", "", "also write results as CSV files into this directory")
 		workers = flag.Int("workers", 0, "optimizer plan-evaluation workers (0 = all cores, 1 = sequential)")
+		faultsF = flag.String("faults", "", "inject faults into every experiment's executions, e.g. rate=0.02,seed=9")
 	)
 	flag.Parse()
 	experiments.ChooseWorkers = *workers
@@ -47,6 +49,9 @@ func main() {
 	}
 	w, err := workload.Pair(workload.Params{NumDocs: *docs, Seed: *seed, TopK: *topK}, tasks[0], tasks[1])
 	if err != nil {
+		fatal(err)
+	}
+	if w.Faults, err = faults.Parse(*faultsF); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("workload: %s on %s (%d docs), %s on %s (%d docs), top-k=%d, seed=%d\n\n",
@@ -91,6 +96,15 @@ func main() {
 			writeCSV(id, table.CSV())
 			return
 		}
+		if id == "faultsweep" {
+			table, err := experiments.FaultSweep(w, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(table)
+			writeCSV(id, table.CSV())
+			return
+		}
 		if id == "table2" {
 			rows, err := experiments.Table2(w)
 			if err != nil {
@@ -108,7 +122,7 @@ func main() {
 
 	switch *exp {
 	case "all":
-		for _, id := range []string{"fig9", "fig10", "fig11", "fig12", "table2", "estimation"} {
+		for _, id := range []string{"fig9", "fig10", "fig11", "fig12", "table2", "estimation", "faultsweep"} {
 			run(id)
 		}
 	default:

@@ -38,6 +38,11 @@ func main() {
 		outer   = flag.Int("outer", 0, "plan mode: OIJN outer side (0 or 1)")
 		show    = flag.Int("show", 5, "number of join tuples to print")
 		workers = flag.Int("workers", 0, "optimizer plan-evaluation workers (0 = all cores, 1 = sequential)")
+
+		faultsFlag = flag.String("faults", "", "fault-injection profile, e.g. rate=0.05,seed=9,burst=2 (empty = none)")
+		retries    = flag.Int("retries", 0, "max retries per failed substrate call (0 = default 3, -1 = disabled)")
+		failBudget = flag.Int("failure-budget", 0, "abort once this many documents per side are lost (0 = unlimited)")
+		deadline   = flag.Float64("deadline", 0, "cost-model time deadline per execution (0 = none)")
 	)
 	flag.Parse()
 
@@ -46,6 +51,11 @@ func main() {
 		fatal(err)
 	}
 	task.Workers = *workers
+	if task.Faults, err = joinopt.ParseFaultProfile(*faultsFlag); err != nil {
+		fatal(err)
+	}
+	task.Retry = joinopt.RetryPolicy{MaxRetries: *retries, FailureBudget: *failBudget}
+	task.Deadline = *deadline
 	r1, r2 := task.Relations()
 	d1, d2 := task.DatabaseSizes()
 	fmt.Printf("task: %s (%d docs) ⋈ %s (%d docs)\n", r1, d1, r2, d2)
@@ -61,6 +71,9 @@ func main() {
 		fmt.Printf("requirement: τg=%d τb=%d\n", req.TauG, req.TauB)
 		for i, p := range res.ChosenPlans {
 			fmt.Printf("decision %d: %s\n", i+1, p)
+		}
+		for _, ce := range res.CheckpointErrs {
+			fmt.Printf("checkpoint warning: %s\n", ce)
 		}
 		report(res.Final, *show)
 		fmt.Printf("total cost-model time (incl. pilot): %.0f\n", res.TotalTime)
@@ -151,6 +164,10 @@ func report(out *joinopt.Outcome, show int) {
 		float64(out.GoodTuples)/float64(max(1, out.GoodTuples+out.BadTuples)))
 	fmt.Printf("work: processed=%v retrieved=%v queries=%v time=%.0f\n",
 		out.DocsProcessed, out.DocsRetrieved, out.Queries, out.Time)
+	if out.RetriesSpent != [2]int{} || out.DocsFailed != [2]int{} || out.Degraded || out.DeadlineHit {
+		fmt.Printf("faults: retries=%v lost-docs=%v degraded=%v deadline-hit=%v\n",
+			out.RetriesSpent, out.DocsFailed, out.Degraded, out.DeadlineHit)
+	}
 	tuples := out.Tuples()
 	if show > len(tuples) {
 		show = len(tuples)

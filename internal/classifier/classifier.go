@@ -23,6 +23,15 @@ type Classifier interface {
 	Classify(text string) bool
 }
 
+// Fallible is a classifier whose decisions can fail — a remote model behind
+// a flaky service. A failed call makes no decision; the caller retries or
+// gives up. cost is extra cost-model time incurred by the call beyond the
+// per-document filtering charge.
+type Fallible interface {
+	Classifier
+	ClassifyFallible(text string) (accept bool, cost float64, err error)
+}
+
 // Measure computes Ctp and Cfp of a classifier against a database's true
 // document classes for a task: Ctp is the acceptance rate on good documents
 // and Cfp the acceptance rate on the rest.

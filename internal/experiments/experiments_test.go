@@ -311,3 +311,36 @@ func TestFigThetaVariants(t *testing.T) {
 		t.Errorf("θ=0.8 actual %v should be below θ=0.4 actual %v", strictTail.Act, looseTail.Act)
 	}
 }
+
+func TestFaultSweep(t *testing.T) {
+	w := testWorkload(t)
+	table, err := FaultSweep(w, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Faults != nil {
+		t.Error("FaultSweep must restore the workload's fault configuration")
+	}
+	if len(table.Rows) != 5 {
+		t.Fatalf("sweep rows %d, want 5", len(table.Rows))
+	}
+	// Rate 0: nothing lost, nothing retried, recall 1.
+	zero := table.Rows[0]
+	if zero[4] != "0" || zero[5] != "0" || zero[3] != "1.00" {
+		t.Errorf("zero-rate row %v must show a clean run", zero)
+	}
+	// Some rate engages retries, and the burst profile loses documents at
+	// the high end.
+	retried, lost := false, false
+	for _, row := range table.Rows[1:] {
+		if row[5] != "0" {
+			retried = true
+		}
+		if row[4] != "0" {
+			lost = true
+		}
+	}
+	if !retried || !lost {
+		t.Errorf("sweep shows no degradation (retried=%v lost=%v):\n%s", retried, lost, table)
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"joinopt/internal/eval"
+	"joinopt/internal/faults"
+	"joinopt/internal/join"
+	"joinopt/internal/optimizer"
+	"joinopt/internal/retrieval"
+	"joinopt/internal/workload"
+)
+
+// FaultSweep is an extension experiment (not a paper artifact, labeled as
+// such): the output quality and cost of a full IDJN/SC execution as the
+// injected transient-fault rate grows. Faults arrive in bursts of 6 calls —
+// longer than the default retry budget of 1+3 attempts — so low rates are
+// absorbed by retries (identical output, extra time) while higher rates
+// start losing documents through the skip-and-account degradation path; the
+// run still completes either way.
+func FaultSweep(w *workload.Workload, seed int64) (*eval.Table, error) {
+	prevP, prevR := w.Faults, w.Retry
+	defer func() { w.Faults, w.Retry = prevP, prevR }()
+
+	t := &eval.Table{
+		Title:  "Extension: degradation under injected transient faults (IDJN/SC, θ=0.4, burst=6)",
+		Header: []string{"fault rate", "good", "bad", "recall vs clean", "docs lost", "retries", "time"},
+	}
+	plan := optimizer.PlanSpec{JN: optimizer.IDJN, Theta: [2]float64{0.4, 0.4},
+		X: [2]retrieval.Kind{retrieval.SC, retrieval.SC}}
+	cleanGood := 0
+	for _, rate := range []float64{0, 0.01, 0.02, 0.05, 0.10} {
+		p := faults.Uniform(seed, rate)
+		for i := 0; i < 2; i++ {
+			p.Fetch[i].Burst = 6
+			p.Next[i].Burst = 6
+			p.Classify[i].Burst = 6
+		}
+		w.Faults, w.Retry = p, join.RetryPolicy{}
+		e, err := newExec(w, plan)
+		if err != nil {
+			return nil, err
+		}
+		st, err := join.Run(e, nil)
+		if err != nil {
+			return nil, err
+		}
+		if rate == 0 {
+			cleanGood = st.GoodPairs
+		}
+		recall := "-"
+		if cleanGood > 0 {
+			recall = fmt.Sprintf("%.2f", float64(st.GoodPairs)/float64(cleanGood))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", rate),
+			fmt.Sprint(st.GoodPairs),
+			fmt.Sprint(st.BadPairs),
+			recall,
+			fmt.Sprint(st.DocsFailed[0] + st.DocsFailed[1]),
+			fmt.Sprint(st.RetriesSpent[0] + st.RetriesSpent[1]),
+			fmt.Sprintf("%.0f", st.Time),
+		})
+	}
+	return t, nil
+}

@@ -7,6 +7,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 
 	"joinopt/internal/corpus"
@@ -41,6 +42,13 @@ type Side struct {
 	Theta  float64
 	Gold   *relation.Gold
 	Costs  Costs
+
+	// Source, when set, replaces direct database reads on the document-fetch
+	// path with a fallible source (e.g. a faults.FaultyDB); Retry governs how
+	// fetch and pull failures are retried and how much document loss the
+	// execution tolerates.
+	Source DocSource
+	Retry  RetryPolicy
 }
 
 // validate checks that the side is usable.
@@ -78,6 +86,25 @@ type State struct {
 
 	// Time is the cost-model execution time accumulated so far.
 	Time float64
+
+	// Steps counts Executor.Step invocations — the replay coordinate of
+	// Snapshot/Restore.
+	Steps int
+
+	// Failure accounting: DocsFailed counts documents lost after exhausting
+	// retries, RetriesSpent the retries consumed, per side. Degraded is set
+	// once any loss (failed documents, truncated or permanently failed
+	// streams) makes the execution's view of the databases incomplete; the
+	// optimizer corrects its quality estimates for it.
+	DocsFailed   [2]int
+	RetriesSpent [2]int
+	Degraded     bool
+
+	// Deadline, when positive, is the cost-model time at which the execution
+	// stops gracefully (DeadlineHit records that it did). Retries respect it
+	// too: a document is abandoned rather than retried past the deadline.
+	Deadline    float64
+	DeadlineHit bool
 
 	totalPairs int
 	golds      [2]*relation.Gold
@@ -165,15 +192,37 @@ type Executor interface {
 // StopFunc inspects the state after each step; returning true stops the run.
 type StopFunc func(*State) bool
 
-// Run advances the executor until it is exhausted or stop returns true. It
-// returns the final state.
+// Run advances the executor until it is exhausted, its deadline passes, or
+// stop returns true. It returns the final state.
 func Run(e Executor, stop StopFunc) (*State, error) {
+	return RunCtx(context.Background(), e, stop)
+}
+
+// RunCtx is Run with cooperative cancellation: between steps it checks ctx
+// and, once cancelled, returns the state reached so far together with
+// ctx.Err(). The state remains checkpointable (State.Snapshot), so an
+// interrupted run can be resumed by replay. Step errors are wrapped with
+// the algorithm name and step count for diagnosable failures.
+func RunCtx(ctx context.Context, e Executor, stop StopFunc) (*State, error) {
 	for {
+		select {
+		case <-ctx.Done():
+			return e.State(), ctx.Err()
+		default:
+		}
+		// Checked before stepping too, so an already-expired executor handed
+		// to a fresh Run (e.g. after a checkpoint resume) does no extra work.
+		if e.State().deadlineExpired() {
+			return e.State(), nil
+		}
 		ok, err := e.Step()
 		if err != nil {
-			return e.State(), err
+			return e.State(), fmt.Errorf("join: %s step %d: %w", e.Algorithm(), e.State().Steps, err)
 		}
 		if !ok {
+			return e.State(), nil
+		}
+		if e.State().deadlineExpired() {
 			return e.State(), nil
 		}
 		if stop != nil && stop(e.State()) {
@@ -194,10 +243,20 @@ func (st *State) chargeStrategy(i int, c Costs, prev, now retrieval.Counts) {
 	st.Time += float64(dRetr)*c.TR + float64(dFilt)*c.TF + float64(dQ)*c.TQ
 }
 
-// processDoc runs the side's IE system over a document and records the
-// extracted tuples. It charges processing time and returns the tuples.
-func processDoc(st *State, i int, s *Side, docID int) []relation.Tuple {
-	doc := s.DB.Doc(docID)
+// processDoc fetches a document through the side's source (retrying under
+// its policy), runs the IE system over it, and records the extracted
+// tuples. It charges processing time and returns the tuples. A document
+// lost to exhausted retries is skipped and accounted (nil tuples, nil
+// error); the error is non-nil only when the failure budget aborts the
+// execution.
+func processDoc(st *State, i int, s *Side, docID int) ([]relation.Tuple, error) {
+	doc, ok, err := fetchDoc(st, i, s, docID)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
 	tuples := s.System.Extract(doc.Text, s.Theta)
 	st.DocsProcessed[i]++
 	st.Time += s.Costs.TE
@@ -211,7 +270,7 @@ func processDoc(st *State, i int, s *Side, docID int) []relation.Tuple {
 	for _, t := range tuples {
 		st.addTuple(i, t)
 	}
-	return tuples
+	return tuples, nil
 }
 
 // texts extracts the raw document texts of a database, for index building.

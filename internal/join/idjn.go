@@ -65,6 +65,7 @@ func (e *IDJN) State() *State { return e.st }
 // Step retrieves and processes the next document(s) from each database at
 // the configured rates. It returns false once both strategies are exhausted.
 func (e *IDJN) Step() (bool, error) {
+	e.st.Steps++
 	if e.done[0] && e.done[1] {
 		return false, nil
 	}
@@ -75,15 +76,23 @@ func (e *IDJN) Step() (bool, error) {
 		e.acc[i] += e.rates[i]
 		for e.acc[i] >= 1 {
 			e.acc[i]--
-			id, ok := e.strat[i].Next()
+			id, ok, skip, err := pullDoc(e.st, i, e.sides[i], e.strat[i])
 			now := e.strat[i].Counts()
 			e.st.chargeStrategy(i, e.sides[i].Costs, e.prev[i], now)
 			e.prev[i] = now
+			if err != nil {
+				return false, err
+			}
+			if skip {
+				continue
+			}
 			if !ok {
 				e.done[i] = true
 				break
 			}
-			processDoc(e.st, i, e.sides[i], id)
+			if _, err := processDoc(e.st, i, e.sides[i], id); err != nil {
+				return false, err
+			}
 		}
 	}
 	return !(e.done[0] && e.done[1]), nil

@@ -68,18 +68,28 @@ func (e *OIJN) State() *State { return e.st }
 // query per new outer join value, processing every unseen matching inner
 // document. It returns false once the outer strategy is exhausted.
 func (e *OIJN) Step() (bool, error) {
+	e.st.Steps++
 	if e.done {
 		return false, nil
 	}
-	id, ok := e.strat.Next()
+	id, ok, skip, err := pullDoc(e.st, e.outerIdx, e.outer, e.strat)
 	now := e.strat.Counts()
 	e.st.chargeStrategy(e.outerIdx, e.outer.Costs, e.prev, now)
 	e.prev = now
+	if err != nil {
+		return false, err
+	}
+	if skip {
+		return true, nil
+	}
 	if !ok {
 		e.done = true
 		return false, nil
 	}
-	tuples := processDoc(e.st, e.outerIdx, e.outer, id)
+	tuples, err := processDoc(e.st, e.outerIdx, e.outer, id)
+	if err != nil {
+		return false, err
+	}
 	innerIdx := 1 - e.outerIdx
 	for _, t := range tuples {
 		a := t.A1
@@ -96,7 +106,9 @@ func (e *OIJN) Step() (bool, error) {
 			e.innerSeen[docID] = true
 			e.st.DocsRetrieved[innerIdx]++
 			e.st.Time += e.inner.Costs.TR
-			processDoc(e.st, innerIdx, e.inner, docID)
+			if _, err := processDoc(e.st, innerIdx, e.inner, docID); err != nil {
+				return false, err
+			}
 		}
 	}
 	return true, nil

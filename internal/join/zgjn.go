@@ -71,6 +71,7 @@ func (e *ZGJN) State() *State { return e.st }
 // returns false when both queues are empty (the zig-zag has stalled or the
 // component is exhausted).
 func (e *ZGJN) Step() (bool, error) {
+	e.st.Steps++
 	if e.stalled {
 		return false, nil
 	}
@@ -97,7 +98,10 @@ func (e *ZGJN) Step() (bool, error) {
 		e.seen[i][docID] = true
 		e.st.DocsRetrieved[i]++
 		e.st.Time += side.Costs.TR
-		tuples := processDoc(e.st, i, side, docID)
+		tuples, err := processDoc(e.st, i, side, docID)
+		if err != nil {
+			return false, err
+		}
 		for _, t := range tuples {
 			e.enqueue(1-i, t.A1)
 		}

@@ -1,6 +1,8 @@
 package optimizer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"joinopt/internal/estimate"
@@ -93,7 +95,7 @@ type Decision struct {
 // Result is the outcome of an adaptive run.
 type Result struct {
 	Final     *join.State
-	Pilot     *join.State
+	Pilot     *join.State // nil on resumed runs: the pilot is not re-run
 	Decisions []Decision
 	TotalTime float64
 	Inputs    *Inputs // the estimated inputs behind the final decision
@@ -103,6 +105,48 @@ type Result struct {
 	// back to finishing the current plan rather than aborting, but the
 	// errors are surfaced here instead of being silently dropped.
 	CheckpointErrs []error
+
+	// Checkpoint is set when the run was interrupted by context
+	// cancellation; ResumeAdaptive continues from it. Nil on completed runs.
+	Checkpoint *Checkpoint
+}
+
+// Phase identifies the protocol stage an interrupted adaptive run was in.
+type Phase int
+
+const (
+	// PhaseExecute is the execution of the chosen plan headed for the
+	// re-optimization checkpoint.
+	PhaseExecute Phase = iota
+	// PhaseCommitted is the run to planned effort after a checkpoint
+	// decided to keep the current plan.
+	PhaseCommitted
+	// PhaseFinish is the achieved-quality effort-extension loop.
+	PhaseFinish
+)
+
+// Checkpoint is a resumable snapshot of an interrupted adaptive run. It is
+// an in-memory handle, not a wire format: the in-flight executor is captured
+// as a compact join.Snapshot and reconstructed on resume by deterministic
+// replay over an equivalent environment, so the resumed run re-encounters
+// the same documents — and, under a seeded fault profile, the same injected
+// faults — before continuing.
+type Checkpoint struct {
+	Phase          Phase
+	Best           Eval    // the plan being executed
+	Inputs         *Inputs // latest estimates behind Best
+	Decisions      []Decision
+	CheckpointErrs []error
+	Switches       int
+	TotalTime      float64       // billed time excluding the in-flight executor
+	Exec           join.Snapshot // in-flight executor state
+
+	// Finish-phase coordinates (valid when Phase == PhaseFinish): the
+	// extended effort target, the extension round, and the stall-detection
+	// progress snapshot taken before the interrupted run.
+	Target [2]int
+	Ext    int
+	Prev   [2]int
 }
 
 // RunAdaptive executes the end-to-end §VI protocol: scan a pilot window,
@@ -111,6 +155,16 @@ type Result struct {
 // switching plans (from scratch, keeping the time bill) when the sharpened
 // estimates reveal a better option.
 func RunAdaptive(env *Env, req Requirement, opts Options) (*Result, error) {
+	return RunAdaptiveCtx(context.Background(), env, req, opts)
+}
+
+// RunAdaptiveCtx is RunAdaptive under a context: cancellation stops the run
+// cooperatively at the next executor step and returns the context error with
+// Result.Checkpoint set, from which ResumeAdaptive continues. The pilot
+// itself is not checkpointable; cancellation during the pilot takes effect
+// at the first post-pilot step (the completed pilot's estimates are carried
+// in the checkpoint, so the pilot cost is never paid twice).
+func RunAdaptiveCtx(ctx context.Context, env *Env, req Requirement, opts Options) (*Result, error) {
 	opts.defaults()
 	if env.NewExecutor == nil || env.Rates == nil || len(env.Thetas) == 0 {
 		return nil, fmt.Errorf("optimizer: incomplete environment")
@@ -126,40 +180,123 @@ func RunAdaptive(env *Env, req Requirement, opts Options) (*Result, error) {
 	in.Workers = opts.ChooseWorkers
 	res.Inputs = in
 
-	plans := Enumerate(env.Thetas)
-	best, _, err := Choose(plans, in, req)
+	best, _, err := Choose(Enumerate(env.Thetas), in, req)
 	if err != nil {
 		return res, err
 	}
 	res.Decisions = append(res.Decisions, Decision{AtTime: res.TotalTime, Chosen: best})
 
-	switches := 0
-	for {
-		exec, err := env.NewExecutor(best.Plan)
-		if err != nil {
-			return res, fmt.Errorf("optimizer: building %s: %w", best.Plan, err)
+	return env.adaptiveLoop(ctx, res, req, opts, &Checkpoint{Phase: PhaseExecute, Best: best})
+}
+
+// ResumeAdaptive continues an interrupted adaptive run from its checkpoint
+// over an equivalent environment (same workload, fault profile, and
+// options). The in-flight executor is rebuilt and replayed to the
+// checkpointed snapshot; at zero fault rate the resumed run finishes exactly
+// as the uninterrupted one would have. The pilot is not re-run, so
+// Result.Pilot is nil on resumed results.
+func ResumeAdaptive(env *Env, req Requirement, opts Options, ck *Checkpoint) (*Result, error) {
+	return ResumeAdaptiveCtx(context.Background(), env, req, opts, ck)
+}
+
+// ResumeAdaptiveCtx is ResumeAdaptive under a context; a resumed run can
+// itself be interrupted and resumed again.
+func ResumeAdaptiveCtx(ctx context.Context, env *Env, req Requirement, opts Options, ck *Checkpoint) (*Result, error) {
+	opts.defaults()
+	if ck == nil || ck.Inputs == nil {
+		return nil, fmt.Errorf("optimizer: nil or incomplete checkpoint")
+	}
+	if env.NewExecutor == nil || env.Rates == nil || len(env.Thetas) == 0 {
+		return nil, fmt.Errorf("optimizer: incomplete environment")
+	}
+	ck.Inputs.Workers = opts.ChooseWorkers
+	res := &Result{
+		Decisions:      append([]Decision(nil), ck.Decisions...),
+		CheckpointErrs: append([]error(nil), ck.CheckpointErrs...),
+		TotalTime:      ck.TotalTime,
+		Inputs:         ck.Inputs,
+	}
+	return env.adaptiveLoop(ctx, res, req, opts, ck)
+}
+
+// adaptiveLoop drives the post-pilot protocol from a (possibly replayed)
+// checkpoint. res must carry the estimates in res.Inputs and the billed time
+// so far; ck positions the loop (phase, plan, switch count, in-flight
+// executor snapshot). The stop predicates are pure functions of the
+// execution state, so re-entering a phase with a replayed executor continues
+// exactly where the interrupted run left off.
+func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, opts Options, ck *Checkpoint) (*Result, error) {
+	plans := Enumerate(env.Thetas)
+	in := res.Inputs
+	best := ck.Best
+	switches := ck.Switches
+
+	exec, err := env.NewExecutor(best.Plan)
+	if err != nil {
+		return res, fmt.Errorf("optimizer: building %s: %w", best.Plan, err)
+	}
+	if ck.Exec.Steps > 0 {
+		if err := join.Replay(exec, ck.Exec); err != nil {
+			return res, fmt.Errorf("optimizer: resuming %s: %w", best.Plan, err)
 		}
-		checkpoint := 1
-		stop := func(s *join.State) bool {
+	}
+
+	interrupted := func(err error) bool {
+		return err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err())
+	}
+	checkpointed := func(phase Phase, target [2]int, ext int, prev [2]int) *Checkpoint {
+		return &Checkpoint{
+			Phase:          phase,
+			Best:           best,
+			Inputs:         in,
+			Decisions:      append([]Decision(nil), res.Decisions...),
+			CheckpointErrs: append([]error(nil), res.CheckpointErrs...),
+			Switches:       switches,
+			TotalTime:      res.TotalTime,
+			Exec:           exec.State().Snapshot(),
+			Target:         target,
+			Ext:            ext,
+			Prev:           prev,
+		}
+	}
+
+	if ck.Phase == PhaseFinish {
+		return env.finishFrom(ctx, res, exec, best, req, ck.Target, ck.Ext, ck.Prev, true, checkpointed)
+	}
+	committed := ck.Phase == PhaseCommitted
+	for {
+		if committed {
+			_, err := join.RunCtx(ctx, exec, func(s *join.State) bool {
+				return effortReached(best.Plan, s, best.Effort)
+			})
+			if interrupted(err) {
+				res.Checkpoint = checkpointed(PhaseCommitted, [2]int{}, 0, [2]int{})
+				return res, err
+			}
+			if err != nil {
+				return res, err
+			}
+			return env.finishFrom(ctx, res, exec, best, req, best.Effort, 0, [2]int{}, false, checkpointed)
+		}
+		// Run toward the re-optimization checkpoint.
+		st, err := join.RunCtx(ctx, exec, func(s *join.State) bool {
 			if effortReached(best.Plan, s, best.Effort) {
 				return true
 			}
-			frac := effortFraction(best.Plan, s, best.Effort)
-			if frac >= opts.RecheckFraction*float64(checkpoint) && switches < opts.MaxSwitches {
-				return true
-			}
-			return false
+			return effortFraction(best.Plan, s, best.Effort) >= opts.RecheckFraction && switches < opts.MaxSwitches
+		})
+		if interrupted(err) {
+			res.Checkpoint = checkpointed(PhaseExecute, [2]int{}, 0, [2]int{})
+			return res, err
 		}
-		st, err := join.Run(exec, stop)
 		if err != nil {
 			return res, err
 		}
 		if effortReached(best.Plan, st, best.Effort) {
-			return env.finish(res, exec, best, req)
+			return env.finishFrom(ctx, res, exec, best, req, best.Effort, 0, [2]int{}, false, checkpointed)
 		}
 		// Checkpoint: re-estimate when the current plan samples by
 		// scanning (unbiased window); otherwise keep the pilot estimates.
-		checkpoint++
 		if scanLike(best.Plan) {
 			if in2, err := env.estimateInputs(st, best.Plan.Theta[0]); err == nil {
 				in2.Workers = opts.ChooseWorkers
@@ -183,18 +320,17 @@ func RunAdaptive(env *Env, req Requirement, opts Options) (*Result, error) {
 				best = nb
 				res.Decisions = append(res.Decisions, Decision{AtTime: now, Chosen: nb})
 			}
-			if _, runErr := join.Run(exec, func(s *join.State) bool {
-				return effortReached(best.Plan, s, best.Effort)
-			}); runErr != nil {
-				return res, runErr
-			}
-			return env.finish(res, exec, best, req)
+			committed = true
+			continue
 		}
 		// Switch: bill the abandoned work and restart with the new plan.
 		res.TotalTime += st.Time
 		switches++
 		best = nb
 		res.Decisions = append(res.Decisions, Decision{AtTime: res.TotalTime, Chosen: best, Switched: true})
+		if exec, err = env.NewExecutor(best.Plan); err != nil {
+			return res, fmt.Errorf("optimizer: building %s: %w", best.Plan, err)
+		}
 	}
 }
 
@@ -240,7 +376,7 @@ func PilotEstimate(env *Env, opts Options) (*Inputs, *join.State, error) {
 		stable := true
 		for side := 0; side < 2; side++ {
 			tp, fp := env.Rates(side, pilotTheta)
-			obs := estimate.FromState(pilotState, side, env.NumDocs[side], tp, fp, env.BadInGoodPrior)
+			obs := estimate.FromState(pilotState, side, effectiveDocs(pilotState, side, env.NumDocs[side]), tp, fp, env.BadInGoodPrior)
 			div, cvErr := estimate.CrossValidate(obs)
 			if cvErr != nil || div > opts.StableDivergence {
 				stable = false
@@ -258,36 +394,44 @@ func PilotEstimate(env *Env, opts Options) (*Inputs, *join.State, error) {
 	return in, pilotState, nil
 }
 
-// finish drives an execution past its planned effort until the label-free
-// achieved-quality estimate meets τg — the paper's stopping condition
-// "estimated # good tuples in Rj ≥ τg" — extending the effort target
-// geometrically (up to a bounded number of extensions) when the planned
-// effort proves optimistic, then seals the result.
-func (env *Env) finish(res *Result, exec join.Executor, best Eval, req Requirement) (*Result, error) {
-	target := best.Effort
-	for ext := 0; ext < 5; ext++ {
-		st := exec.State()
-		good, bad := env.achieved(st, best.Plan)
-		if good >= float64(req.TauG) {
-			break
-		}
-		if bad > float64(req.TauB) {
-			// The algorithms' other stopping condition (Figures 3, 5, 7):
-			// once the estimated bad output exceeds τb, continuing cannot
-			// satisfy the requirement — return what was produced.
-			break
-		}
-		// Extend the effort target by half and keep going; Run returns
-		// immediately once the executor is exhausted.
-		for side := 0; side < 2; side++ {
-			if target[side] > 0 {
-				target[side] += (target[side] + 1) / 2
+// finishFrom drives an execution past its planned effort until the
+// label-free achieved-quality estimate meets τg — the paper's stopping
+// condition "estimated # good tuples in Rj ≥ τg" — extending the effort
+// target geometrically (up to a bounded number of extensions) when the
+// planned effort proves optimistic, then seals the result. When inRun is
+// set, the loop resumes mid-iteration inside the interrupted run with the
+// checkpointed target, extension round, and stall snapshot.
+func (env *Env) finishFrom(ctx context.Context, res *Result, exec join.Executor, best Eval, req Requirement,
+	target [2]int, ext int, prev [2]int, inRun bool,
+	checkpointed func(Phase, [2]int, int, [2]int) *Checkpoint) (*Result, error) {
+	for ; ext < 5; ext++ {
+		if !inRun {
+			good, bad := env.achieved(exec.State(), best.Plan)
+			if good >= float64(req.TauG) {
+				break
 			}
+			if bad > float64(req.TauB) {
+				// The algorithms' other stopping condition (Figures 3, 5, 7):
+				// once the estimated bad output exceeds τb, continuing cannot
+				// satisfy the requirement — return what was produced.
+				break
+			}
+			// Extend the effort target by half and keep going; the run
+			// returns immediately once the executor is exhausted.
+			for side := 0; side < 2; side++ {
+				if target[side] > 0 {
+					target[side] += (target[side] + 1) / 2
+				}
+			}
+			prev = progressSnapshot(best.Plan, exec.State())
 		}
-		prev := progressSnapshot(best.Plan, st)
-		if _, err := join.Run(exec, func(s *join.State) bool {
+		inRun = false
+		if _, err := join.RunCtx(ctx, exec, func(s *join.State) bool {
 			return effortReached(best.Plan, s, target)
 		}); err != nil {
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				res.Checkpoint = checkpointed(PhaseFinish, target, ext, prev)
+			}
 			return res, err
 		}
 		if progressSnapshot(best.Plan, exec.State()) == prev {
@@ -306,7 +450,7 @@ func (env *Env) achieved(st *join.State, plan PlanSpec) (good, bad float64) {
 	var ests [2]*estimate.Estimated
 	for side := 0; side < 2; side++ {
 		tp, fp := env.Rates(side, plan.Theta[side])
-		obs[side] = estimate.FromState(st, side, env.NumDocs[side], tp, fp, env.BadInGoodPrior)
+		obs[side] = estimate.FromState(st, side, effectiveDocs(st, side, env.NumDocs[side]), tp, fp, env.BadInGoodPrior)
 		est, err := estimate.Estimate(obs[side])
 		if err != nil {
 			// Too little data for a fit: fall back to the raw pair count
@@ -335,6 +479,29 @@ func progressSnapshot(plan PlanSpec, st *join.State) [2]int {
 	return [2]int{effortUnit(plan, st, 0), effortUnit(plan, st, 1)}
 }
 
+// effectiveDocs corrects a side's nominal database size for observed
+// document loss. Documents that exhausted their retries were skipped, so the
+// execution effectively samples from a database shrunk by the loss rate —
+// scaling estimates to the nominal size would claim coverage the degraded
+// run never had, inflating |Dg| and the achieved-quality numbers by exactly
+// the loss rate. At zero loss this is the identity.
+func effectiveDocs(st *join.State, side, numDocs int) int {
+	failed := st.DocsFailed[side]
+	if failed == 0 {
+		return numDocs
+	}
+	seen := st.DocsProcessed[side] + failed
+	eff := int(float64(numDocs)*(1-float64(failed)/float64(seen)) + 0.5)
+	// The processed documents are certainly in the reachable population.
+	if eff < st.DocsProcessed[side] {
+		eff = st.DocsProcessed[side]
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	return eff
+}
+
 // estimateInputs runs the MLE estimator on both sides of a scan-sampled
 // state and assembles the optimizer inputs for every knob setting.
 func (env *Env) estimateInputs(st *join.State, obsTheta float64) (*Inputs, error) {
@@ -350,7 +517,7 @@ func (env *Env) estimateInputs(st *join.State, obsTheta float64) (*Inputs, error
 	var obs [2]estimate.Observation
 	for side := 0; side < 2; side++ {
 		tp, fp := env.Rates(side, obsTheta)
-		obs[side] = estimate.FromState(st, side, env.NumDocs[side], tp, fp, env.BadInGoodPrior)
+		obs[side] = estimate.FromState(st, side, effectiveDocs(st, side, env.NumDocs[side]), tp, fp, env.BadInGoodPrior)
 		est, err := estimate.Estimate(obs[side])
 		if err != nil {
 			return nil, fmt.Errorf("side %d: %w", side+1, err)

@@ -69,6 +69,32 @@ func TestEffortReachedAndFraction(t *testing.T) {
 	}
 }
 
+func TestEffectiveDocs(t *testing.T) {
+	st := &join.State{}
+	st.DocsProcessed = [2]int{100, 50}
+	if got := effectiveDocs(st, 0, 1000); got != 1000 {
+		t.Errorf("zero loss must be the identity, got %d", got)
+	}
+	st.DocsFailed = [2]int{25, 0}
+	// 25 of 125 seen documents were lost: the reachable population is 80%.
+	if got := effectiveDocs(st, 0, 1000); got != 800 {
+		t.Errorf("effectiveDocs = %d, want 800", got)
+	}
+	if got := effectiveDocs(st, 1, 1000); got != 1000 {
+		t.Errorf("loss on side 0 must not touch side 1, got %d", got)
+	}
+	// Floors: never below the processed count, never below 1.
+	heavy := &join.State{}
+	heavy.DocsProcessed = [2]int{90, 0}
+	heavy.DocsFailed = [2]int{910, 1}
+	if got := effectiveDocs(heavy, 0, 100); got != 90 {
+		t.Errorf("processed documents are reachable by construction, got %d", got)
+	}
+	if got := effectiveDocs(heavy, 1, 1); got != 1 {
+		t.Errorf("total loss must still leave a population of 1, got %d", got)
+	}
+}
+
 func TestScanLike(t *testing.T) {
 	cases := []struct {
 		plan PlanSpec

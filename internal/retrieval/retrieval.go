@@ -44,6 +44,28 @@ type Strategy interface {
 	Counts() Counts
 }
 
+// Fallible is a strategy whose pulls can fail — a flaky search interface or
+// classifier service. A failed pull does not advance the stream: once the
+// failure clears, the next pull resumes exactly where the stream left off.
+// cost is extra cost-model time incurred by the pull (injected latency,
+// failed-call overhead) beyond the per-document charges the executors
+// already apply; it is reported on failures and successes alike.
+type Fallible interface {
+	Strategy
+	NextFallible() (docID int, ok bool, cost float64, err error)
+}
+
+// Pull advances s one document through its fallible path when it has one,
+// and through plain Next otherwise. Executors pull through this helper so
+// any strategy — wrapped by a fault injector or not — is driven uniformly.
+func Pull(s Strategy) (docID int, ok bool, cost float64, err error) {
+	if f, isFallible := s.(Fallible); isFallible {
+		return f.NextFallible()
+	}
+	id, ok := s.Next()
+	return id, ok, 0, nil
+}
+
 // Scan retrieves every document sequentially.
 type Scan struct {
 	n      int
@@ -101,6 +123,35 @@ func (f *FilteredScan) Next() (int, bool) {
 		f.counts.Filtered++
 	}
 	return 0, false
+}
+
+// NextFallible implements Fallible. A classifier failure is surfaced before
+// the scan position advances or any work is counted, so a retried pull
+// re-classifies the same document.
+func (f *FilteredScan) NextFallible() (int, bool, float64, error) {
+	fc, fallible := f.c.(classifier.Fallible)
+	var cost float64
+	for f.next < f.db.Size() {
+		id := f.next
+		accept := false
+		if fallible {
+			a, c, err := fc.ClassifyFallible(f.db.Doc(id).Text)
+			cost += c
+			if err != nil {
+				return 0, false, cost, err
+			}
+			accept = a
+		} else {
+			accept = f.c.Classify(f.db.Doc(id).Text)
+		}
+		f.next++
+		f.counts.Retrieved++
+		if accept {
+			return id, true, cost, nil
+		}
+		f.counts.Filtered++
+	}
+	return 0, false, cost, nil
 }
 
 // Kind implements Strategy.

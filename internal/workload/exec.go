@@ -8,34 +8,42 @@ import (
 	"joinopt/internal/join"
 	"joinopt/internal/model"
 	"joinopt/internal/optimizer"
+	"joinopt/internal/retrieval"
 )
 
-// NewExecutor builds a fresh join executor for a plan over this workload.
+// NewExecutor builds a fresh join executor for a plan over this workload,
+// carrying the workload's fault profile, retry policy, and deadline.
 func (w *Workload) NewExecutor(plan optimizer.PlanSpec) (join.Executor, error) {
 	s1 := w.Side(0, plan.Theta[0])
 	s2 := w.Side(1, plan.Theta[1])
+	var e join.Executor
+	var err error
 	switch plan.JN {
 	case optimizer.IDJN:
-		x1, err := w.NewStrategy(0, plan.X[0])
-		if err != nil {
+		var x1, x2 retrieval.Strategy
+		if x1, err = w.NewStrategy(0, plan.X[0]); err != nil {
 			return nil, err
 		}
-		x2, err := w.NewStrategy(1, plan.X[1])
-		if err != nil {
+		if x2, err = w.NewStrategy(1, plan.X[1]); err != nil {
 			return nil, err
 		}
-		return join.NewIDJN(s1, s2, x1, x2)
+		e, err = join.NewIDJN(s1, s2, x1, x2)
 	case optimizer.OIJN:
-		x, err := w.NewStrategy(plan.OuterIdx, plan.X[plan.OuterIdx])
-		if err != nil {
+		var x retrieval.Strategy
+		if x, err = w.NewStrategy(plan.OuterIdx, plan.X[plan.OuterIdx]); err != nil {
 			return nil, err
 		}
-		return join.NewOIJN(s1, s2, plan.OuterIdx, x)
+		e, err = join.NewOIJN(s1, s2, plan.OuterIdx, x)
 	case optimizer.ZGJN:
-		return join.NewZGJN(s1, s2, w.Seeds)
+		e, err = join.NewZGJN(s1, s2, w.Seeds)
 	default:
 		return nil, fmt.Errorf("workload: unknown algorithm %q", plan.JN)
 	}
+	if err != nil {
+		return nil, err
+	}
+	e.State().Deadline = w.Deadline
+	return e, nil
 }
 
 // NewEnv assembles the adaptive optimizer's environment over this workload:

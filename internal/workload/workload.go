@@ -15,6 +15,7 @@ import (
 	"joinopt/internal/classifier"
 	"joinopt/internal/corpus"
 	"joinopt/internal/extract"
+	"joinopt/internal/faults"
 	"joinopt/internal/index"
 	"joinopt/internal/join"
 	"joinopt/internal/qxtract"
@@ -65,6 +66,15 @@ type Workload struct {
 	// Seeds are join values with good tuples in both relations, used to
 	// seed ZGJN executions.
 	Seeds []string
+
+	// Faults, when set, wraps every executor's substrate — document fetches,
+	// retrieval pulls, FS classifier calls — with deterministic fault
+	// injection. Retry tunes how executions retry and budget those failures
+	// (zero value = join.DefaultRetry), and Deadline, when positive, caps
+	// every execution's cost-model time.
+	Faults   *faults.Profile
+	Retry    join.RetryPolicy
+	Deadline float64
 }
 
 // HQJoinEX builds the paper's primary workload: HQ hosted on an NYT96-like
@@ -270,28 +280,50 @@ func Pair(p Params, task1, task2 string) (*Workload, error) {
 }
 
 // Side builds a join.Side for side i (0 or 1) at knob configuration theta.
+// When a fault profile is set, document fetches go through a fault-injected
+// source under the workload's retry policy.
 func (w *Workload) Side(i int, theta float64) *join.Side {
-	return &join.Side{
+	s := &join.Side{
 		DB:     w.DB[i],
 		Index:  w.Ix[i],
 		System: w.Sys[i],
 		Theta:  theta,
 		Gold:   w.DB[i].Gold(w.Task[i]),
 		Costs:  w.Costs[i],
+		Retry:  w.Retry,
 	}
+	if w.Faults != nil {
+		s.Source = faults.NewFaultyDB(w.DB[i], w.Faults, i)
+	}
+	return s
 }
 
 // NewStrategy builds a fresh retrieval strategy of the given kind for side
-// i. Strategies are stateful; every execution needs its own.
+// i. Strategies are stateful; every execution needs its own. When a fault
+// profile is set, the strategy (and the FS classifier behind it) is wrapped
+// with fault injection.
 func (w *Workload) NewStrategy(i int, kind retrieval.Kind) (retrieval.Strategy, error) {
+	var s retrieval.Strategy
+	var err error
 	switch kind {
 	case retrieval.SC:
-		return retrieval.NewScan(w.DB[i].Size()), nil
+		s = retrieval.NewScan(w.DB[i].Size())
 	case retrieval.FS:
-		return retrieval.NewFilteredScan(w.DB[i], w.Cls[i])
+		cls := w.Cls[i]
+		if w.Faults != nil {
+			cls = faults.NewFaultyClassifier(cls, w.Faults, i)
+		}
+		s, err = retrieval.NewFilteredScan(w.DB[i], cls)
 	case retrieval.AQG:
-		return retrieval.NewAQG(w.Ix[i], w.AQGQueries[i])
+		s, err = retrieval.NewAQG(w.Ix[i], w.AQGQueries[i])
 	default:
 		return nil, fmt.Errorf("workload: unknown retrieval strategy %q", kind)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if w.Faults != nil {
+		s = faults.NewFaultyStrategy(s, w.Faults, i)
+	}
+	return s, nil
 }

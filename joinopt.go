@@ -24,10 +24,12 @@
 package joinopt
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"joinopt/internal/experiments"
+	"joinopt/internal/faults"
 	"joinopt/internal/join"
 	"joinopt/internal/optimizer"
 	"joinopt/internal/relation"
@@ -111,6 +113,46 @@ type WorkloadParams struct {
 	TopK int
 }
 
+// FaultProfile configures deterministic, seedable fault injection on a
+// task's databases, retrieval strategies, and classifiers. A zero-rate
+// profile is provably transparent: execution is identical to an uninjected
+// run (the join package's property tests pin this).
+type FaultProfile struct {
+	p *faults.Profile
+}
+
+// ParseFaultProfile builds a fault profile from a compact string of
+// comma-separated key=value pairs, e.g. "rate=0.05,seed=9,burst=2,cost=2".
+// Keys: seed, rate, fetch, next, classify, trunc, stall, cost, burst,
+// permanent. An empty string yields nil (no injection).
+func ParseFaultProfile(s string) (*FaultProfile, error) {
+	p, err := faults.Parse(s)
+	if err != nil || p == nil {
+		return nil, err
+	}
+	return &FaultProfile{p: p}, nil
+}
+
+// UniformFaults injects transient single-call faults at the given rate on
+// every document fetch, retrieval pull, and classification of both sides,
+// deterministically derived from seed.
+func UniformFaults(seed int64, rate float64) *FaultProfile {
+	return &FaultProfile{p: faults.Uniform(seed, rate)}
+}
+
+// RetryPolicy governs how executions recover from transient substrate
+// failures. The zero value selects the defaults (3 retries with capped
+// exponential backoff); MaxRetries -1 disables retrying. FailureBudget, when
+// positive, aborts an execution once that many documents per side were lost
+// to exhausted retries; 0 tolerates unlimited loss (skipped documents are
+// still accounted in the Outcome).
+type RetryPolicy struct {
+	MaxRetries    int
+	BaseDelay     float64
+	MaxDelay      float64
+	FailureBudget int
+}
+
 // Task is a two-database extraction join task: text databases, IE systems,
 // trained retrieval machinery, and gold labels for evaluation.
 type Task struct {
@@ -122,8 +164,31 @@ type Task struct {
 	// guarantee.
 	Workers int
 
+	// Faults, when set, injects deterministic substrate failures into every
+	// execution of this task; Retry governs recovery, and Deadline — a
+	// cost-model time, 0 = none — stops executions gracefully when exceeded.
+	Faults   *FaultProfile
+	Retry    RetryPolicy
+	Deadline float64
+
 	verifierMu sync.Mutex
 	verifiers  map[verifierKey]*verify.TemplateVerifier
+}
+
+// applyFaults pushes the task's fault configuration into the workload
+// before executors are built.
+func (t *Task) applyFaults() {
+	t.w.Faults = nil
+	if t.Faults != nil {
+		t.w.Faults = t.Faults.p
+	}
+	t.w.Retry = join.RetryPolicy{
+		MaxRetries:    t.Retry.MaxRetries,
+		BaseDelay:     t.Retry.BaseDelay,
+		MaxDelay:      t.Retry.MaxDelay,
+		FailureBudget: t.Retry.FailureBudget,
+	}
+	t.w.Deadline = t.Deadline
 }
 
 // NewHQJoinEX builds the paper's primary workload: the Headquarters
@@ -190,6 +255,15 @@ type Outcome struct {
 	DocsRetrieved [2]int
 	Queries       [2]int
 
+	// Failure telemetry (meaningful under fault injection): documents lost
+	// after exhausting retries, retries consumed, whether any loss left the
+	// run with an incomplete view of the databases, and whether the deadline
+	// cut it short.
+	DocsFailed   [2]int
+	RetriesSpent [2]int
+	Degraded     bool
+	DeadlineHit  bool
+
 	state *join.State
 }
 
@@ -215,6 +289,10 @@ func outcomeOf(plan Plan, st *join.State) *Outcome {
 		DocsProcessed: st.DocsProcessed,
 		DocsRetrieved: st.DocsRetrieved,
 		Queries:       st.Queries,
+		DocsFailed:    st.DocsFailed,
+		RetriesSpent:  st.RetriesSpent,
+		Degraded:      st.Degraded,
+		DeadlineHit:   st.DeadlineHit,
 		state:         st,
 	}
 }
@@ -235,6 +313,7 @@ type Progress struct {
 // Execute runs a specific plan to exhaustion, or until stop returns true
 // (stop may be nil).
 func (t *Task) Execute(plan Plan, stop StopCondition) (*Outcome, error) {
+	t.applyFaults()
 	exec, err := t.w.NewExecutor(plan.spec())
 	if err != nil {
 		return nil, err
@@ -329,6 +408,18 @@ type AdaptiveOutcome struct {
 	ChosenPlans []Plan
 	// TotalTime includes the estimation pilot and any abandoned work.
 	TotalTime float64
+	// CheckpointErrs lists non-fatal optimizer failures at adaptive
+	// checkpoints; the run fell back to finishing its current plan.
+	CheckpointErrs []string
+	// Checkpoint is set when a context-interrupted run can be continued with
+	// ResumeAdaptive; nil on completed runs.
+	Checkpoint *AdaptiveCheckpoint
+}
+
+// AdaptiveCheckpoint is an opaque resumable snapshot of an interrupted
+// adaptive run (see Task.RunAdaptiveCtx).
+type AdaptiveCheckpoint struct {
+	ck *optimizer.Checkpoint
 }
 
 // RunAdaptive executes the paper's §VI protocol: scan a pilot window,
@@ -336,22 +427,58 @@ type AdaptiveOutcome struct {
 // fastest plan predicted to meet the requirement, execute it, and
 // re-optimize at checkpoints.
 func (t *Task) RunAdaptive(req Requirement) (*AdaptiveOutcome, error) {
+	return t.RunAdaptiveCtx(context.Background(), req)
+}
+
+// RunAdaptiveCtx is RunAdaptive under a context: cancellation stops the run
+// cooperatively at the next execution step and returns the context error
+// together with an outcome whose Checkpoint resumes the run.
+func (t *Task) RunAdaptiveCtx(ctx context.Context, req Requirement) (*AdaptiveOutcome, error) {
+	t.applyFaults()
 	env, err := t.w.NewEnv(Knobs)
 	if err != nil {
 		return nil, err
 	}
-	res, err := optimizer.RunAdaptive(env, optimizer.Requirement(req), optimizer.Options{ChooseWorkers: t.Workers})
+	res, err := optimizer.RunAdaptiveCtx(ctx, env, optimizer.Requirement(req), optimizer.Options{ChooseWorkers: t.Workers})
+	return adaptiveOutcome(res, err)
+}
+
+// ResumeAdaptive continues an interrupted adaptive run from its checkpoint.
+// The pilot is not re-run; at zero fault rate the resumed run finishes
+// exactly as the uninterrupted one would have.
+func (t *Task) ResumeAdaptive(req Requirement, ck *AdaptiveCheckpoint) (*AdaptiveOutcome, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("joinopt: nil checkpoint")
+	}
+	t.applyFaults()
+	env, err := t.w.NewEnv(Knobs)
 	if err != nil {
+		return nil, err
+	}
+	res, err := optimizer.ResumeAdaptive(env, optimizer.Requirement(req), optimizer.Options{ChooseWorkers: t.Workers}, ck.ck)
+	return adaptiveOutcome(res, err)
+}
+
+// adaptiveOutcome converts an optimizer result, preserving the resumable
+// checkpoint when the run was interrupted.
+func adaptiveOutcome(res *optimizer.Result, err error) (*AdaptiveOutcome, error) {
+	if res == nil {
 		return nil, err
 	}
 	out := &AdaptiveOutcome{TotalTime: res.TotalTime}
 	for _, d := range res.Decisions {
 		out.ChosenPlans = append(out.ChosenPlans, planFromSpec(d.Chosen.Plan))
 	}
+	for _, ce := range res.CheckpointErrs {
+		out.CheckpointErrs = append(out.CheckpointErrs, ce.Error())
+	}
+	if res.Checkpoint != nil {
+		out.Checkpoint = &AdaptiveCheckpoint{ck: res.Checkpoint}
+	}
 	if res.Final != nil && len(out.ChosenPlans) > 0 {
 		out.Final = outcomeOf(out.ChosenPlans[len(out.ChosenPlans)-1], res.Final)
 	}
-	return out, nil
+	return out, err
 }
 
 // Figure regenerates one of the paper's evaluation figures ("fig9",

@@ -1,6 +1,8 @@
 package joinopt_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -144,6 +146,108 @@ func TestFacadeRunAdaptive(t *testing.T) {
 	}
 	if res.TotalTime < res.Final.Time {
 		t.Error("total time must include the pilot")
+	}
+}
+
+func TestFacadeFaultInjection(t *testing.T) {
+	tk := facadeTask(t)
+	defer func() { tk.Faults, tk.Retry, tk.Deadline = nil, joinopt.RetryPolicy{}, 0 }()
+
+	plan := joinopt.Plan{
+		Algorithm: joinopt.IndependentJoin,
+		Theta:     [2]float64{0.4, 0.4},
+		X:         [2]joinopt.Strategy{joinopt.Scan, joinopt.Scan},
+	}
+	clean, err := tk.Execute(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.RetriesSpent != [2]int{} || clean.Degraded {
+		t.Fatalf("clean run reports fault telemetry: %+v", clean)
+	}
+
+	tk.Faults = joinopt.UniformFaults(5, 0.02)
+	faulty, err := tk.Execute(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.RetriesSpent == [2]int{} {
+		t.Error("fault injection did not engage")
+	}
+	if faulty.GoodTuples != clean.GoodTuples || faulty.BadTuples != clean.BadTuples {
+		t.Errorf("transient faults at rate 0.02 changed the output: (%d, %d) vs (%d, %d)",
+			faulty.GoodTuples, faulty.BadTuples, clean.GoodTuples, clean.BadTuples)
+	}
+	if faulty.Time <= clean.Time {
+		t.Error("retry time not charged")
+	}
+
+	tk.Faults = nil
+	tk.Deadline = clean.Time / 4
+	cut, err := tk.Execute(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cut.DeadlineHit || cut.DocsProcessed[0]+cut.DocsProcessed[1] >= clean.DocsProcessed[0]+clean.DocsProcessed[1] {
+		t.Errorf("deadline did not cut the run: %+v", cut)
+	}
+}
+
+func TestFacadeParseFaultProfile(t *testing.T) {
+	if p, err := joinopt.ParseFaultProfile(""); p != nil || err != nil {
+		t.Errorf("empty profile = %v, %v; want nil, nil", p, err)
+	}
+	if p, err := joinopt.ParseFaultProfile("rate=0.1,seed=3"); p == nil || err != nil {
+		t.Errorf("valid profile = %v, %v", p, err)
+	}
+	if _, err := joinopt.ParseFaultProfile("rate=high"); err == nil {
+		t.Error("malformed profile must be rejected")
+	}
+}
+
+func TestFacadeAdaptiveResume(t *testing.T) {
+	tk := facadeTask(t)
+	req := joinopt.Requirement{TauG: 8, TauB: 200}
+	base, err := tk.RunAdaptive(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A pre-cancelled context interrupts deterministically at the first
+	// post-pilot step; the checkpoint must resume to the identical outcome.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	interrupted, err := tk.RunAdaptiveCtx(ctx, req)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if interrupted == nil || interrupted.Checkpoint == nil {
+		t.Fatal("interrupted run carries no checkpoint")
+	}
+	if interrupted.Final != nil {
+		t.Error("interrupted run must not claim a final outcome")
+	}
+
+	resumed, err := tk.ResumeAdaptive(req, interrupted.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Final == nil {
+		t.Fatal("resumed run incomplete")
+	}
+	if resumed.Final.GoodTuples != base.Final.GoodTuples ||
+		resumed.Final.BadTuples != base.Final.BadTuples ||
+		resumed.TotalTime != base.TotalTime {
+		t.Errorf("resumed run diverged: good=%d bad=%d time=%v vs baseline good=%d bad=%d time=%v",
+			resumed.Final.GoodTuples, resumed.Final.BadTuples, resumed.TotalTime,
+			base.Final.GoodTuples, base.Final.BadTuples, base.TotalTime)
+	}
+	if len(resumed.ChosenPlans) != len(base.ChosenPlans) {
+		t.Errorf("resumed decisions %v != baseline %v", resumed.ChosenPlans, base.ChosenPlans)
+	}
+
+	if _, err := tk.ResumeAdaptive(req, nil); err == nil {
+		t.Error("nil checkpoint must be rejected")
 	}
 }
 
