@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race transparency bench
+.PHONY: check build vet test race transparency bench bench-overhead
 
 # check is the full pre-merge gate: static checks, a clean build, the test
 # suite, the race detector over the concurrent packages (the optimizer's
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/optimizer/... ./internal/join/... ./internal/faults/... ./internal/workload/...
+	$(GO) test -race ./internal/optimizer/... ./internal/join/... ./internal/faults/... ./internal/workload/... ./internal/obs/...
 
 transparency:
 	$(GO) test ./internal/join/ -run TestZeroRateFaultTransparency -count=1
@@ -28,3 +28,10 @@ transparency:
 # Choose on the 256-plan space, and cold vs warm memoization sweeps.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkChoose' -benchtime 10x .
+
+# bench-overhead compares a full executor run with observability detached
+# (the nil fast path), with a ring trace + metrics attached, and with an
+# NDJSON stream — the nil variant must stay within 2% of the plain
+# BenchmarkIDJNFullScan baseline (DESIGN.md §5's overhead budget).
+bench-overhead:
+	$(GO) test -run '^$$' -bench 'BenchmarkIDJNFullScan' -benchtime 20x -count 3 .

@@ -13,13 +13,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"joinopt/internal/eval"
 	"joinopt/internal/experiments"
 	"joinopt/internal/faults"
+	"joinopt/internal/obs"
 	"joinopt/internal/workload"
 )
 
@@ -34,6 +38,11 @@ func main() {
 		csv     = flag.String("csv", "", "also write results as CSV files into this directory")
 		workers = flag.Int("workers", 0, "optimizer plan-evaluation workers (0 = all cores, 1 = sequential)")
 		faultsF = flag.String("faults", "", "inject faults into every experiment's executions, e.g. rate=0.02,seed=9")
+
+		tracePath   = flag.String("trace", "", "write the NDJSON execution trace of every run to this file")
+		metricsFlag = flag.Bool("metrics", false, "print the Prometheus-text metrics snapshot at the end")
+		profilePath = flag.String("profile", "", "write a CPU profile to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address while running (e.g. :6060)")
 	)
 	flag.Parse()
 	experiments.ChooseWorkers = *workers
@@ -41,6 +50,23 @@ func main() {
 		if err := os.MkdirAll(*csv, 0o755); err != nil {
 			fatal(err)
 		}
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: pprof server:", err)
+			}
+		}()
+	}
+	if *profilePath != "" {
+		f, err := os.Create(*profilePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	tasks, ok := map[string][2]string{"hqex": {"HQ", "EX"}, "mgex": {"MG", "EX"}}[*task]
@@ -53,6 +79,16 @@ func main() {
 	}
 	if w.Faults, err = faults.Parse(*faultsF); err != nil {
 		fatal(err)
+	}
+	var traceFile *obs.NDJSON
+	if *tracePath != "" {
+		if traceFile, err = obs.CreateNDJSON(*tracePath); err != nil {
+			fatal(err)
+		}
+		w.Trace = obs.New(traceFile)
+	}
+	if *metricsFlag {
+		w.Metrics = obs.NewRegistry()
 	}
 	fmt.Printf("workload: %s on %s (%d docs), %s on %s (%d docs), top-k=%d, seed=%d\n\n",
 		tasks[0], w.DB[0].Name, w.DB[0].Size(), tasks[1], w.DB[1].Name, w.DB[1].Size(), w.Ix[0].TopK(), *seed)
@@ -127,6 +163,19 @@ func main() {
 		}
 	default:
 		run(*exp)
+	}
+
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *tracePath)
+	}
+	if w.Metrics != nil {
+		fmt.Println("\nmetrics snapshot:")
+		if err := w.Metrics.WritePrometheus(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -9,12 +9,24 @@
 //
 // It reports the chosen plan, the cost-model execution time, and the true
 // output composition (graded against the generator's gold sets).
+//
+// Observability:
+//
+//	joinopt -trace run.ndjson    # write the structured execution trace
+//	joinopt -metrics             # print the Prometheus-text metrics snapshot
+//	joinopt -profile cpu.pprof   # write a CPU profile of the run
+//	joinopt -pprof :6060         # serve net/http/pprof while running
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/pprof"
 
 	"joinopt"
 )
@@ -43,8 +55,62 @@ func main() {
 		retries    = flag.Int("retries", 0, "max retries per failed substrate call (0 = default 3, -1 = disabled)")
 		failBudget = flag.Int("failure-budget", 0, "abort once this many documents per side are lost (0 = unlimited)")
 		deadline   = flag.Float64("deadline", 0, "cost-model time deadline per execution (0 = none)")
+
+		tracePath   = flag.String("trace", "", "write the NDJSON execution trace to this file")
+		metricsFlag = flag.Bool("metrics", false, "print the Prometheus-text metrics snapshot after the run")
+		profilePath = flag.String("profile", "", "write a CPU profile of the run to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address while running (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "joinopt: pprof server:", err)
+			}
+		}()
+	}
+	if *profilePath != "" {
+		f, err := os.Create(*profilePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var runOpts []joinopt.RunOption
+	var traceFile *joinopt.TraceFile
+	if *tracePath != "" {
+		var err error
+		if traceFile, err = joinopt.CreateTraceFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		runOpts = append(runOpts, joinopt.WithTracer(joinopt.NewTrace(traceFile)))
+	}
+	var metrics *joinopt.Metrics
+	if *metricsFlag {
+		metrics = joinopt.NewMetrics()
+		runOpts = append(runOpts, joinopt.WithMetrics(metrics))
+	}
+	// seal flushes the observability outputs; fatal paths skip it, keeping
+	// partial traces on disk for post-mortem inspection.
+	seal := func() {
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "joinopt: trace:", err)
+			}
+			fmt.Printf("\ntrace written to %s\n", *tracePath)
+		}
+		if metrics != nil {
+			fmt.Println("\nmetrics snapshot:")
+			if err := metrics.WritePrometheus(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "joinopt: metrics:", err)
+			}
+		}
+	}
 
 	task, err := joinopt.NewHQJoinEX(joinopt.WorkloadParams{NumDocs: *docs, Seed: *seed})
 	if err != nil {
@@ -61,21 +127,34 @@ func main() {
 	fmt.Printf("task: %s (%d docs) ⋈ %s (%d docs)\n", r1, d1, r2, d2)
 	fmt.Printf("gold join size (upper bound on good output): %d\n\n", task.GoldJoinSize())
 	req := joinopt.Requirement{TauG: *tauG, TauB: *tauB}
+	ctx := context.Background()
 
-	switch *mode {
-	case "adaptive":
-		res, err := task.RunAdaptive(req)
+	// run executes and reports a deadline stop as a note, not a failure.
+	run := func(req joinopt.Requirement, opts ...joinopt.RunOption) *joinopt.RunResult {
+		res, err := task.Run(ctx, req, append(append([]joinopt.RunOption(nil), runOpts...), opts...)...)
+		if errors.Is(err, joinopt.ErrDeadline) {
+			fmt.Println("note: deadline cut the execution short")
+			err = nil
+		}
 		if err != nil {
 			fatal(err)
 		}
+		return res
+	}
+
+	switch *mode {
+	case "adaptive":
+		res := run(req)
 		fmt.Printf("requirement: τg=%d τb=%d\n", req.TauG, req.TauB)
-		for i, p := range res.ChosenPlans {
+		for i, p := range res.Plans {
 			fmt.Printf("decision %d: %s\n", i+1, p)
 		}
-		for _, ce := range res.CheckpointErrs {
-			fmt.Printf("checkpoint warning: %s\n", ce)
+		if n := len(res.CheckpointErrs); n > 0 {
+			// Warn once; the full list is in joinopt_checkpoint_errors_total
+			// and the trace's checkpoint.error events.
+			fmt.Printf("warning: %d checkpoint optimization failure(s); run fell back to its current plan\n", n)
 		}
-		report(res.Final, *show)
+		report(res.Outcome, *show)
 		fmt.Printf("total cost-model time (incl. pilot): %.0f\n", res.TotalTime)
 	case "optimize":
 		best, err := task.Optimize(req)
@@ -84,13 +163,10 @@ func main() {
 		}
 		fmt.Printf("chosen plan: %s\n", best.Plan)
 		fmt.Printf("predicted: good=%.0f bad=%.0f time=%.0f\n\n", best.EstimatedGood, best.EstimatedBad, best.EstimatedTime)
-		out, err := task.Execute(best.Plan, func(p joinopt.Progress) bool {
+		res := run(req, joinopt.WithPlan(best.Plan), joinopt.WithStop(func(p joinopt.Progress) bool {
 			return p.GoodTuples >= req.TauG
-		})
-		if err != nil {
-			fatal(err)
-		}
-		report(out, *show)
+		}))
+		report(res.Outcome, *show)
 	case "plan":
 		plan := joinopt.Plan{
 			Algorithm: joinopt.Algorithm(*jn),
@@ -105,14 +181,11 @@ func main() {
 		if plan.Algorithm == joinopt.ZigZagJoin {
 			plan.X = [2]joinopt.Strategy{joinopt.QueryRetrieve, joinopt.QueryRetrieve}
 		}
-		out, err := task.Execute(plan, func(p joinopt.Progress) bool {
+		res := run(req, joinopt.WithPlan(plan), joinopt.WithStop(func(p joinopt.Progress) bool {
 			return p.GoodTuples >= req.TauG
-		})
-		if err != nil {
-			fatal(err)
-		}
+		}))
 		fmt.Printf("executed plan: %s\n", plan)
-		report(out, *show)
+		report(res.Outcome, *show)
 	case "robust":
 		best, err := task.OptimizeRobust(req, *sigma)
 		if err != nil {
@@ -128,11 +201,10 @@ func main() {
 		}
 		fmt.Printf("time budget %.0f → plan: %s\n", *budget, best.Plan)
 		fmt.Printf("predicted: good=%.0f bad=%.0f time=%.0f\n", best.EstimatedGood, best.EstimatedBad, best.EstimatedTime)
-		out, err := task.Execute(best.Plan, func(p joinopt.Progress) bool { return p.Time >= *budget })
-		if err != nil {
-			fatal(err)
-		}
-		report(out, *show)
+		res := run(req, joinopt.WithPlan(best.Plan), joinopt.WithStop(func(p joinopt.Progress) bool {
+			return p.Time >= *budget
+		}))
+		report(res.Outcome, *show)
 	case "precision":
 		best, derived, err := task.OptimizePrecision(*tauG, *prec)
 		if err != nil {
@@ -152,6 +224,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+	seal()
 }
 
 func report(out *joinopt.Outcome, show int) {

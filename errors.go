@@ -1,0 +1,18 @@
+package joinopt
+
+import "joinopt/internal/join"
+
+// ErrFailureBudget marks a run aborted because a side lost more documents
+// than its retry policy's FailureBudget tolerates. Test with errors.Is.
+var ErrFailureBudget = join.ErrFailureBudget
+
+// ErrDeadline marks a run cut short by its cost-model deadline. Run returns
+// it (wrapped) alongside the partial result; the deprecated wrappers filter
+// it to preserve their historical nil-error deadline behaviour. Test with
+// errors.Is.
+var ErrDeadline = join.ErrDeadline
+
+// StepError is a fatal executor step failure: the join algorithm, the step
+// count at which it failed, and the wrapped cause (errors.Is sees through to
+// ErrFailureBudget and friends). Extract with errors.As.
+type StepError = join.StepError

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,16 +24,17 @@ func main() {
 	req := joinopt.Requirement{TauG: 24, TauB: 240}
 	fmt.Printf("requirement: at least %d good join tuples, at most %d bad\n\n", req.TauG, req.TauB)
 
-	res, err := task.RunAdaptive(req)
+	ctx := context.Background()
+	res, err := task.Run(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("adaptive optimizer decisions:")
-	for i, p := range res.ChosenPlans {
+	for i, p := range res.Plans {
 		fmt.Printf("  %d. %s\n", i+1, p)
 	}
 	fmt.Printf("adaptive outcome: good=%d bad=%d, total time %.0f (incl. pilot)\n\n",
-		res.Final.GoodTuples, res.Final.BadTuples, res.TotalTime)
+		res.Outcome.GoodTuples, res.Outcome.BadTuples, res.TotalTime)
 
 	// The naive baseline: scan and process both databases completely with
 	// the permissive knob setting, stopping at the same good-tuple target.
@@ -41,12 +43,14 @@ func main() {
 		Theta:     [2]float64{0.4, 0.4},
 		X:         [2]joinopt.Strategy{joinopt.Scan, joinopt.Scan},
 	}
-	out, err := task.Execute(naive, func(p joinopt.Progress) bool {
-		return p.GoodTuples >= req.TauG
-	})
+	base, err := task.Run(ctx, req, joinopt.WithPlan(naive),
+		joinopt.WithStop(func(p joinopt.Progress) bool {
+			return p.GoodTuples >= req.TauG
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
+	out := base.Outcome
 	fmt.Printf("naive full-scan plan to the same target: good=%d bad=%d, time %.0f\n",
 		out.GoodTuples, out.BadTuples, out.Time)
 	fmt.Printf("adaptive speedup over naive: %.1fx\n", out.Time/res.TotalTime)

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,10 +37,11 @@ func main() {
 			Theta:     [2]float64{theta, theta},
 			X:         [2]joinopt.Strategy{joinopt.Scan, joinopt.Scan},
 		}
-		out, err := task.Execute(plan, nil)
+		res, err := task.Run(context.Background(), joinopt.Requirement{}, joinopt.WithPlan(plan))
 		if err != nil {
 			log.Fatal(err)
 		}
+		out := res.Outcome
 		precision := float64(out.GoodTuples) / float64(out.GoodTuples+out.BadTuples)
 		fmt.Printf("minSim=%.1f: %4d good + %4d bad join tuples (precision %.2f), time %.0f\n",
 			theta, out.GoodTuples, out.BadTuples, precision, out.Time)

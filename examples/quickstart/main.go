@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,12 +39,14 @@ func main() {
 		best.EstimatedGood, best.EstimatedBad, best.EstimatedTime)
 
 	// Execute the chosen plan until the good-tuple target is reached.
-	out, err := task.Execute(best.Plan, func(p joinopt.Progress) bool {
-		return p.GoodTuples >= req.TauG
-	})
+	res, err := task.Run(context.Background(), req, joinopt.WithPlan(best.Plan),
+		joinopt.WithStop(func(p joinopt.Progress) bool {
+			return p.GoodTuples >= req.TauG
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
+	out := res.Outcome
 	fmt.Printf("actual:       good=%d bad=%d time=%.0f\n", out.GoodTuples, out.BadTuples, out.Time)
 
 	// Show a few join results, graded against the generator's gold truth.

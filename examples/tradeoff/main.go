@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,12 +45,14 @@ func main() {
 		if err != nil {
 			continue
 		}
-		out, err := task.Execute(best.Plan, func(p joinopt.Progress) bool {
-			return p.GoodTuples >= req.TauG
-		})
+		res, err := task.Run(context.Background(), req, joinopt.WithPlan(best.Plan),
+			joinopt.WithStop(func(p joinopt.Progress) bool {
+				return p.GoodTuples >= req.TauG
+			}))
 		if err != nil {
 			log.Fatal(err)
 		}
+		out := res.Outcome
 		fmt.Printf("τg=%-4d: %s → actual good=%d bad=%d time=%.0f (docs processed %v)\n",
 			req.TauG, best.Plan, out.GoodTuples, out.BadTuples, out.Time, out.DocsProcessed)
 	}

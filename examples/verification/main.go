@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,10 +27,11 @@ func main() {
 		Theta:     [2]float64{0.4, 0.4},
 		X:         [2]joinopt.Strategy{joinopt.Scan, joinopt.Scan},
 	}
-	out, err := task.Execute(plan, nil)
+	res, err := task.Run(context.Background(), joinopt.Requirement{}, joinopt.WithPlan(plan))
 	if err != nil {
 		log.Fatal(err)
 	}
+	out := res.Outcome
 	tuples := out.Tuples()
 	rawPrecision := float64(out.GoodTuples) / float64(out.GoodTuples+out.BadTuples)
 	fmt.Printf("raw join output: %d good + %d bad (precision %.2f)\n",

@@ -3,14 +3,40 @@ package faults
 import (
 	"joinopt/internal/classifier"
 	"joinopt/internal/corpus"
+	"joinopt/internal/obs"
 	"joinopt/internal/retrieval"
 )
+
+// obsHooks is the observability attachment shared by the fault wrappers:
+// every injected fault is counted on the metrics registry and, when tracing,
+// emitted as a fault.injected event. Timestamps come from the trace clock,
+// which the workload layer binds to the live executor's cost-model time.
+type obsHooks struct {
+	tr *obs.Trace
+	m  *obs.ExecMetrics
+}
+
+// SetObs attaches a trace and metrics bundle; both may be nil.
+func (h *obsHooks) SetObs(tr *obs.Trace, m *obs.ExecMetrics) {
+	h.tr = tr
+	h.m = m
+}
+
+// fault records one injected fault of op on 0-based side.
+func (h *obsHooks) fault(op Op, side int, d decision) {
+	h.m.Fault(side)
+	if h.tr.Enabled() {
+		h.tr.Emit(obs.KindFault, side+1,
+			map[string]any{"op": string(op), "call": d.call, "permanent": d.permanent})
+	}
+}
 
 // FaultyDB wraps a text database as a fallible document source: fetches can
 // fail (transiently or permanently), stall (succeed with injected latency),
 // or return truncated text — a slow interface cutting a download short. It
 // implements the join package's DocSource.
 type FaultyDB struct {
+	obsHooks
 	db    *corpus.DB
 	side  int
 	fetch injector
@@ -36,6 +62,7 @@ func (f *FaultyDB) Size() int { return f.db.Size() }
 func (f *FaultyDB) Fetch(id int) (*corpus.Document, float64, error) {
 	d := f.fetch.next()
 	if d.fault {
+		f.fault(OpFetch, f.side, d)
 		return nil, d.cost, &Error{Op: OpFetch, Side: f.side, Call: d.call, Transient: !d.permanent}
 	}
 	doc := f.db.Doc(id)
@@ -44,6 +71,7 @@ func (f *FaultyDB) Fetch(id int) (*corpus.Document, float64, error) {
 		cost += t.cost
 		doc = truncated(doc)
 		f.trunc.counts.Truncated++
+		f.fault(OpTruncate, f.side, t)
 	}
 	return doc, cost, nil
 }
@@ -75,6 +103,7 @@ func truncated(d *corpus.Document) *corpus.Document {
 // and an injected fault fires before the underlying strategy advances, so a
 // retried pull resumes exactly where the stream left off.
 type FaultyStrategy struct {
+	obsHooks
 	s    retrieval.Strategy
 	side int
 	inj  injector
@@ -98,6 +127,7 @@ func (f *FaultyStrategy) Counts() retrieval.Counts { return f.s.Counts() }
 func (f *FaultyStrategy) NextFallible() (int, bool, float64, error) {
 	d := f.inj.next()
 	if d.fault {
+		f.fault(OpNext, f.side, d)
 		return 0, false, d.cost, &Error{Op: OpNext, Side: f.side, Call: d.call, Transient: !d.permanent}
 	}
 	id, ok, cost, err := retrieval.Pull(f.s)
@@ -113,6 +143,7 @@ func (f *FaultyStrategy) FaultCounts() Counts { return f.inj.counts }
 // they flow into the executors' retry policy instead of silently
 // mislabelling documents.
 type FaultyClassifier struct {
+	obsHooks
 	c    classifier.Classifier
 	side int
 	inj  injector
@@ -130,6 +161,7 @@ func (f *FaultyClassifier) Classify(text string) bool { return f.c.Classify(text
 func (f *FaultyClassifier) ClassifyFallible(text string) (bool, float64, error) {
 	d := f.inj.next()
 	if d.fault {
+		f.fault(OpClassify, f.side, d)
 		return false, d.cost, &Error{Op: OpClassify, Side: f.side, Call: d.call, Transient: !d.permanent}
 	}
 	return f.c.Classify(text), d.cost, nil

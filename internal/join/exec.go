@@ -13,6 +13,7 @@ import (
 	"joinopt/internal/corpus"
 	"joinopt/internal/extract"
 	"joinopt/internal/index"
+	"joinopt/internal/obs"
 	"joinopt/internal/relation"
 	"joinopt/internal/retrieval"
 )
@@ -106,10 +107,18 @@ type State struct {
 	Deadline    float64
 	DeadlineHit bool
 
-	totalPairs int
-	golds      [2]*relation.Gold
-	rels       [2]*relation.Extracted
-	byVal      [2]map[string][]labeledTuple
+	// Trace and Metrics receive execution telemetry when set (see
+	// internal/obs). Both are nil-safe and nil by default; the property
+	// tests pin that a nil tracer leaves execution bit-identical, and the
+	// overhead benchmarks pin the disabled path under 2%.
+	Trace   *obs.Trace
+	Metrics *obs.ExecMetrics
+
+	totalPairs     int
+	golds          [2]*relation.Gold
+	rels           [2]*relation.Extracted
+	byVal          [2]map[string][]labeledTuple
+	deadlineTraced bool
 }
 
 // ValueCounts returns the label-free observed occurrence counts s(a) of side
@@ -167,6 +176,9 @@ func (st *State) addTuple(i int, t relation.Tuple) {
 	st.BadPairs = st.totalPairs - st.GoodPairs
 
 	st.byVal[i][a] = append(st.byVal[i][a], labeledTuple{t: t, good: good})
+	if st.Trace.Enabled() {
+		st.Trace.EmitAt(st.Time, obs.KindTupleExtracted, i+1, map[string]any{"a": a, "good": good})
+	}
 	for _, lt := range st.byVal[1-i][a] {
 		jt := relation.JoinTuple{A: a}
 		if i == 0 {
@@ -175,7 +187,11 @@ func (st *State) addTuple(i int, t relation.Tuple) {
 			jt.B, jt.C = lt.t.A2, t.A2
 		}
 		st.Result.Add(jt, good && lt.good)
+		if st.Trace.Enabled() {
+			st.Trace.EmitAt(st.Time, obs.KindTupleJoined, 0, map[string]any{"a": a, "good": good && lt.good})
+		}
 	}
+	st.Metrics.Quality(st.GoodPairs, st.BadPairs)
 }
 
 // Executor is a stepwise join execution.
@@ -201,33 +217,54 @@ func Run(e Executor, stop StopFunc) (*State, error) {
 // RunCtx is Run with cooperative cancellation: between steps it checks ctx
 // and, once cancelled, returns the state reached so far together with
 // ctx.Err(). The state remains checkpointable (State.Snapshot), so an
-// interrupted run can be resumed by replay. Step errors are wrapped with
-// the algorithm name and step count for diagnosable failures.
+// interrupted run can be resumed by replay. Step errors are returned as
+// *StepError, carrying the algorithm name and step count.
 func RunCtx(ctx context.Context, e Executor, stop StopFunc) (*State, error) {
+	st := e.State()
 	for {
 		select {
 		case <-ctx.Done():
-			return e.State(), ctx.Err()
+			return st, ctx.Err()
 		default:
 		}
 		// Checked before stepping too, so an already-expired executor handed
 		// to a fresh Run (e.g. after a checkpoint resume) does no extra work.
-		if e.State().deadlineExpired() {
-			return e.State(), nil
+		if st.deadlineExpired() {
+			st.traceDeadline(e.Algorithm())
+			return st, nil
 		}
+		before := st.Time
 		ok, err := e.Step()
 		if err != nil {
-			return e.State(), fmt.Errorf("join: %s step %d: %w", e.Algorithm(), e.State().Steps, err)
+			serr := &StepError{Algorithm: e.Algorithm(), Step: st.Steps, Err: err}
+			if st.Trace.Enabled() {
+				st.Trace.EmitAt(st.Time, obs.KindStepError, 0,
+					map[string]any{"alg": serr.Algorithm, "step": serr.Step, "err": err.Error()})
+			}
+			return st, serr
+		}
+		st.Metrics.StepDone(e.Algorithm(), st.Time, st.Time-before)
+		if st.Trace.Enabled() {
+			st.Trace.EmitAt(st.Time, obs.KindStep, 0, map[string]any{"alg": e.Algorithm(), "step": st.Steps})
 		}
 		if !ok {
-			return e.State(), nil
+			return st, nil
 		}
-		if e.State().deadlineExpired() {
-			return e.State(), nil
+		if st.deadlineExpired() {
+			st.traceDeadline(e.Algorithm())
+			return st, nil
 		}
-		if stop != nil && stop(e.State()) {
-			return e.State(), nil
+		if stop != nil && stop(st) {
+			return st, nil
 		}
+	}
+}
+
+// traceDeadline emits the deadline-hit event once per execution.
+func (st *State) traceDeadline(alg string) {
+	if st.Trace.Enabled() && !st.deadlineTraced {
+		st.deadlineTraced = true
+		st.Trace.EmitAt(st.Time, obs.KindDeadline, 0, map[string]any{"alg": alg, "deadline": st.Deadline})
 	}
 }
 
@@ -241,6 +278,9 @@ func (st *State) chargeStrategy(i int, c Costs, prev, now retrieval.Counts) {
 	st.DocsFiltered[i] += dFilt
 	st.Queries[i] += dQ
 	st.Time += float64(dRetr)*c.TR + float64(dFilt)*c.TF + float64(dQ)*c.TQ
+	st.Metrics.Retrieved(i, dRetr)
+	st.Metrics.Filtered(i, dFilt)
+	st.Metrics.Queries(i, dQ)
 }
 
 // processDoc fetches a document through the side's source (retrying under
@@ -260,6 +300,10 @@ func processDoc(st *State, i int, s *Side, docID int) ([]relation.Tuple, error) 
 	tuples := s.System.Extract(doc.Text, s.Theta)
 	st.DocsProcessed[i]++
 	st.Time += s.Costs.TE
+	st.Metrics.Processed(i)
+	if st.Trace.Enabled() {
+		st.Trace.EmitAt(st.Time, obs.KindDocProcessed, i+1, map[string]any{"doc": docID, "tuples": len(tuples)})
+	}
 	if len(tuples) > 0 {
 		st.YieldDocs[i]++
 	}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"joinopt/internal/corpus"
+	"joinopt/internal/obs"
 	"joinopt/internal/retrieval"
 )
 
@@ -21,6 +22,29 @@ type DocSource interface {
 // ErrFailureBudget aborts an execution whose side lost more documents than
 // its retry policy tolerates.
 var ErrFailureBudget = errors.New("failure budget exhausted")
+
+// ErrDeadline marks an execution cut short by its cost-model deadline. The
+// join layer itself treats deadlines as graceful stops (Run returns the
+// state with a nil error and DeadlineHit set); the facade's Run API wraps
+// deadline-stopped results with this sentinel so callers can errors.Is it.
+var ErrDeadline = errors.New("deadline exceeded")
+
+// StepError is a fatal executor step failure, carrying the algorithm and
+// the step count at which it occurred. It wraps the underlying cause, so
+// errors.Is(err, ErrFailureBudget) and friends see through it.
+type StepError struct {
+	Algorithm string
+	Step      int
+	Err       error
+}
+
+// Error renders the step coordinates with the cause.
+func (e *StepError) Error() string {
+	return fmt.Sprintf("join: %s step %d: %v", e.Algorithm, e.Step, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *StepError) Unwrap() error { return e.Err }
 
 // RetryPolicy governs how substrate failures — document fetches, retrieval
 // pulls — are retried and how much loss an execution tolerates. The zero
@@ -113,10 +137,23 @@ func (st *State) deadlineExpired() bool {
 func (st *State) failDoc(i int, pol RetryPolicy) error {
 	st.DocsFailed[i]++
 	st.Degraded = true
+	st.Metrics.Failed(i)
+	if st.Trace.Enabled() {
+		st.Trace.EmitAt(st.Time, obs.KindDocFailed, i+1, map[string]any{"failed": st.DocsFailed[i]})
+	}
 	if pol.FailureBudget > 0 && st.DocsFailed[i] > pol.FailureBudget {
 		return fmt.Errorf("join: side %d lost %d documents: %w", i+1, st.DocsFailed[i], ErrFailureBudget)
 	}
 	return nil
+}
+
+// traceRetry records one retry of op ("fetch" or "pull") on side i.
+func (st *State) traceRetry(i int, op string, attempt int, cause error) {
+	st.Metrics.Retry(i)
+	if st.Trace.Enabled() {
+		st.Trace.EmitAt(st.Time, obs.KindRetry, i+1,
+			map[string]any{"op": op, "attempt": attempt, "err": cause.Error()})
+	}
 }
 
 // fetchDoc resolves a document through the side's source, retrying
@@ -139,6 +176,7 @@ func fetchDoc(st *State, i int, s *Side, id int) (doc *corpus.Document, ok bool,
 		if attempt < pol.MaxRetries && isTemporary(err) && !st.deadlineExpired() {
 			st.RetriesSpent[i]++
 			st.Time += pol.backoff(attempt, i, st.RetriesSpent[i]) + s.Costs.TR
+			st.traceRetry(i, "fetch", attempt, err)
 			continue
 		}
 		return nil, false, st.failDoc(i, pol)
@@ -165,6 +203,7 @@ func pullDoc(st *State, i int, s *Side, strat retrieval.Strategy) (id int, ok, s
 		if attempt < pol.MaxRetries && isTemporary(err) && !st.deadlineExpired() {
 			st.RetriesSpent[i]++
 			st.Time += pol.backoff(attempt, i, st.RetriesSpent[i])
+			st.traceRetry(i, "pull", attempt, err)
 			continue
 		}
 		if isTemporary(err) {

@@ -3,6 +3,7 @@ package join
 import (
 	"fmt"
 
+	"joinopt/internal/obs"
 	"joinopt/internal/retrieval"
 )
 
@@ -88,6 +89,10 @@ func (e *IDJN) Step() (bool, error) {
 			}
 			if !ok {
 				e.done[i] = true
+				if e.st.Trace.Enabled() {
+					e.st.Trace.EmitAt(e.st.Time, obs.KindSideExhausted, i+1,
+						map[string]any{"alg": "IDJN", "docs": e.st.DocsProcessed[i]})
+				}
 				break
 			}
 			if _, err := processDoc(e.st, i, e.sides[i], id); err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"joinopt/internal/index"
+	"joinopt/internal/obs"
 	"joinopt/internal/retrieval"
 )
 
@@ -84,6 +85,10 @@ func (e *OIJN) Step() (bool, error) {
 	}
 	if !ok {
 		e.done = true
+		if e.st.Trace.Enabled() {
+			e.st.Trace.EmitAt(e.st.Time, obs.KindSideExhausted, e.outerIdx+1,
+				map[string]any{"alg": "OIJN", "docs": e.st.DocsProcessed[e.outerIdx]})
+		}
 		return false, nil
 	}
 	tuples, err := processDoc(e.st, e.outerIdx, e.outer, id)
@@ -99,6 +104,10 @@ func (e *OIJN) Step() (bool, error) {
 		e.queried[a] = true
 		e.st.Queries[innerIdx]++
 		e.st.Time += e.inner.Costs.TQ
+		e.st.Metrics.Queries(innerIdx, 1)
+		if e.st.Trace.Enabled() {
+			e.st.Trace.EmitAt(e.st.Time, obs.KindQuery, innerIdx+1, map[string]any{"alg": "OIJN", "value": a})
+		}
 		for _, docID := range e.inner.Index.Search(index.QueryFromValue(a)) {
 			if e.innerSeen[docID] {
 				continue
@@ -106,6 +115,7 @@ func (e *OIJN) Step() (bool, error) {
 			e.innerSeen[docID] = true
 			e.st.DocsRetrieved[innerIdx]++
 			e.st.Time += e.inner.Costs.TR
+			e.st.Metrics.Retrieved(innerIdx, 1)
 			if _, err := processDoc(e.st, innerIdx, e.inner, docID); err != nil {
 				return false, err
 			}

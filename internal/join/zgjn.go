@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"joinopt/internal/index"
+	"joinopt/internal/obs"
 )
 
 // ZGJN is the Zig-Zag Join (§IV-C): both relations are reached purely by
@@ -81,6 +82,10 @@ func (e *ZGJN) Step() (bool, error) {
 		i = 1 - i
 		if len(e.queues[i]) == 0 {
 			e.stalled = true
+			if e.st.Trace.Enabled() {
+				e.st.Trace.EmitAt(e.st.Time, obs.KindSideExhausted, 0,
+					map[string]any{"alg": "ZGJN", "stalled": true})
+			}
 			return false, nil
 		}
 	}
@@ -91,6 +96,10 @@ func (e *ZGJN) Step() (bool, error) {
 	side := e.sides[i]
 	e.st.Queries[i]++
 	e.st.Time += side.Costs.TQ
+	e.st.Metrics.Queries(i, 1)
+	if e.st.Trace.Enabled() {
+		e.st.Trace.EmitAt(e.st.Time, obs.KindQuery, i+1, map[string]any{"alg": "ZGJN", "value": value})
+	}
 	for _, docID := range side.Index.Search(index.QueryFromValue(value)) {
 		if e.seen[i][docID] {
 			continue
@@ -98,6 +107,7 @@ func (e *ZGJN) Step() (bool, error) {
 		e.seen[i][docID] = true
 		e.st.DocsRetrieved[i]++
 		e.st.Time += side.Costs.TR
+		e.st.Metrics.Retrieved(i, 1)
 		tuples, err := processDoc(e.st, i, side, docID)
 		if err != nil {
 			return false, err
@@ -106,6 +116,8 @@ func (e *ZGJN) Step() (bool, error) {
 			e.enqueue(1-i, t.A1)
 		}
 	}
+	e.st.Metrics.QueueDepth(0, len(e.queues[0]))
+	e.st.Metrics.QueueDepth(1, len(e.queues[1]))
 	return true, nil
 }
 

@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone atomic counter. All methods are nil-safe.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 gauge. All methods are nil-safe.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores x.
+func (g *Gauge) Set(x float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(x))
+	}
+}
+
+// Add accumulates x (compare-and-swap loop).
+func (g *Gauge) Add(x float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with atomic counts: observations
+// land in the first bucket whose upper bound is >= x, or the overflow
+// bucket. All methods are nil-safe.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; counts has one extra overflow slot
+	counts []atomic.Int64
+	sum    Gauge
+	n      atomic.Int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i].Add(1)
+	h.sum.Add(x)
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // per-bucket, overflow last
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Bounds: h.bounds, Counts: make([]int64, len(h.counts))}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	s.Sum = h.sum.Value()
+	return s
+}
+
+// Registry is a concurrency-safe registry of named metrics. Series names use
+// the Prometheus convention — a family name with optional labels, e.g.
+// `joinopt_docs_processed_total{side="1"}`. Get-or-create accessors return
+// the same handle for the same series; a nil *Registry returns nil handles,
+// making every downstream metric operation a no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	help     map[string]string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
+	}
+}
+
+// Describe attaches a HELP string to a metric family.
+func (r *Registry) Describe(family, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[family] = help
+	r.mu.Unlock()
+}
+
+// Counter returns the counter for series, creating it on first use.
+func (r *Registry) Counter(series string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[series]
+	if !ok {
+		c = &Counter{}
+		r.counters[series] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for series, creating it on first use.
+func (r *Registry) Gauge(series string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[series]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[series] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for series, creating it with the given
+// ascending bucket bounds on first use (later bounds are ignored).
+func (r *Registry) Histogram(series string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[series]
+	if !ok {
+		h = &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(h.bounds)+1)
+		r.hists[series] = h
+	}
+	return h
+}
+
+// Snapshot is an expvar-style point-in-time copy of every metric, keyed by
+// series name.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]int64{}, Gauges: map[string]float64{}, Histograms: map[string]HistogramSnapshot{}}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// String renders the snapshot as JSON — the expvar-style export.
+func (r *Registry) String() string {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// familyOf strips the label part of a series name.
+func familyOf(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// withLabel appends one label to a series name, merging with existing
+// labels: `fam{a="1"}` + le="2" → `fam{a="1",le="2"}`.
+func withLabel(series, suffix, key, value string) string {
+	fam := familyOf(series)
+	labels := strings.TrimPrefix(series, fam)
+	extra := key + `="` + value + `"`
+	if labels == "" {
+		return fam + suffix + "{" + extra + "}"
+	}
+	return fam + suffix + "{" + strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}") + "," + extra + "}"
+}
+
+func formatFloat(x float64) string {
+	if math.IsInf(x, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// WritePrometheus encodes every metric in the Prometheus text exposition
+// format, families and series in sorted order (deterministic output).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	type family struct {
+		typ    string
+		series []string
+	}
+	fams := map[string]*family{}
+	add := func(series, typ string) {
+		fam := familyOf(series)
+		f, ok := fams[fam]
+		if !ok {
+			f = &family{typ: typ}
+			fams[fam] = f
+		}
+		f.series = append(f.series, series)
+	}
+	for name := range s.Counters {
+		add(name, "counter")
+	}
+	for name := range s.Gauges {
+		add(name, "gauge")
+	}
+	for name := range s.Histograms {
+		add(name, "histogram")
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, fam := range names {
+		f := fams[fam]
+		sort.Strings(f.series)
+		if h, ok := help[fam]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, h); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, f.typ); err != nil {
+			return err
+		}
+		for _, series := range f.series {
+			var err error
+			switch f.typ {
+			case "counter":
+				_, err = fmt.Fprintf(w, "%s %d\n", series, s.Counters[series])
+			case "gauge":
+				_, err = fmt.Fprintf(w, "%s %s\n", series, formatFloat(s.Gauges[series]))
+			case "histogram":
+				err = writePromHistogram(w, series, s.Histograms[series])
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, series string, h HistogramSnapshot) error {
+	var cum int64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(series, "_bucket", "le", formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(series, "_bucket", "le", "+Inf"), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", familyOf(series)+"_sum"+strings.TrimPrefix(series, familyOf(series)), formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", familyOf(series)+"_count"+strings.TrimPrefix(series, familyOf(series)), h.Count)
+	return err
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"joinopt/internal/estimate"
 	"joinopt/internal/join"
 	"joinopt/internal/model"
+	"joinopt/internal/obs"
 	"joinopt/internal/retrieval"
 )
 
@@ -49,6 +51,20 @@ type Env struct {
 
 	// BadInGoodPrior seeds the estimator (see estimate.Observation).
 	BadInGoodPrior float64
+
+	// Trace and Metrics, when set, observe the adaptive protocol itself:
+	// pilot completion, plan decisions, checkpoints (and their non-fatal
+	// failures), and plan switches, plus per-phase model/wall time. Both are
+	// nil-safe and nil by default.
+	Trace   *obs.Trace
+	Metrics *obs.Registry
+}
+
+// emit stamps an optimizer-level trace event at cumulative model time t.
+func (env *Env) emit(t float64, kind obs.Kind, attrs map[string]any) {
+	if env.Trace.Enabled() {
+		env.Trace.EmitAt(t, kind, 0, attrs)
+	}
 }
 
 // Options tune the adaptive driver.
@@ -170,6 +186,8 @@ func RunAdaptiveCtx(ctx context.Context, env *Env, req Requirement, opts Options
 		return nil, fmt.Errorf("optimizer: incomplete environment")
 	}
 	res := &Result{}
+	om := obs.NewOptMetrics(env.Metrics)
+	wallStart := time.Now()
 
 	in, pilotState, err := PilotEstimate(env, opts)
 	if err != nil {
@@ -179,12 +197,18 @@ func RunAdaptiveCtx(ctx context.Context, env *Env, req Requirement, opts Options
 	res.TotalTime += pilotState.Time
 	in.Workers = opts.ChooseWorkers
 	res.Inputs = in
+	om.Phase("pilot", pilotState.Time, time.Since(wallStart).Seconds())
+	env.emit(res.TotalTime, obs.KindPilotDone, map[string]any{
+		"docs1": pilotState.DocsProcessed[0], "docs2": pilotState.DocsProcessed[1], "time": pilotState.Time})
 
 	best, _, err := Choose(Enumerate(env.Thetas), in, req)
 	if err != nil {
 		return res, err
 	}
 	res.Decisions = append(res.Decisions, Decision{AtTime: res.TotalTime, Chosen: best})
+	om.Decision(false)
+	env.emit(res.TotalTime, obs.KindPlanChosen, map[string]any{
+		"plan": best.Plan.String(), "effort1": best.Effort[0], "effort2": best.Effort[1], "predicted_time": best.Time})
 
 	return env.adaptiveLoop(ctx, res, req, opts, &Checkpoint{Phase: PhaseExecute, Best: best})
 }
@@ -230,6 +254,8 @@ func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, 
 	in := res.Inputs
 	best := ck.Best
 	switches := ck.Switches
+	om := obs.NewOptMetrics(env.Metrics)
+	phaseStart := time.Now()
 
 	exec, err := env.NewExecutor(best.Plan)
 	if err != nil {
@@ -260,8 +286,19 @@ func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, 
 		}
 	}
 
+	// finish seals the run through finishFrom, publishing the execute- and
+	// finish-phase timings around it.
+	finish := func(target [2]int, ext int, prev [2]int, inRun bool) (*Result, error) {
+		om.Phase("execute", exec.State().Time, time.Since(phaseStart).Seconds())
+		phaseStart = time.Now()
+		t0 := exec.State().Time
+		r, ferr := env.finishFrom(ctx, res, exec, best, req, target, ext, prev, inRun, checkpointed)
+		om.Phase("finish", exec.State().Time-t0, time.Since(phaseStart).Seconds())
+		return r, ferr
+	}
+
 	if ck.Phase == PhaseFinish {
-		return env.finishFrom(ctx, res, exec, best, req, ck.Target, ck.Ext, ck.Prev, true, checkpointed)
+		return finish(ck.Target, ck.Ext, ck.Prev, true)
 	}
 	committed := ck.Phase == PhaseCommitted
 	for {
@@ -276,7 +313,7 @@ func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, 
 			if err != nil {
 				return res, err
 			}
-			return env.finishFrom(ctx, res, exec, best, req, best.Effort, 0, [2]int{}, false, checkpointed)
+			return finish(best.Effort, 0, [2]int{}, false)
 		}
 		// Run toward the re-optimization checkpoint.
 		st, err := join.RunCtx(ctx, exec, func(s *join.State) bool {
@@ -293,7 +330,7 @@ func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, 
 			return res, err
 		}
 		if effortReached(best.Plan, st, best.Effort) {
-			return env.finishFrom(ctx, res, exec, best, req, best.Effort, 0, [2]int{}, false, checkpointed)
+			return finish(best.Effort, 0, [2]int{}, false)
 		}
 		// Checkpoint: re-estimate when the current plan samples by
 		// scanning (unbiased window); otherwise keep the pilot estimates.
@@ -309,6 +346,8 @@ func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, 
 		// state) or switch (billed below) — keeping decision timestamps
 		// monotone and consistent with the switch path.
 		now := res.TotalTime + st.Time
+		om.Checkpoint()
+		env.emit(now, obs.KindCheckpoint, map[string]any{"plan": best.Plan.String(), "switches": switches})
 		nb, _, err := Choose(plans, in, req)
 		if err != nil || nb.Plan == best.Plan {
 			// No better option (or no feasible plan under the sharpened
@@ -316,9 +355,14 @@ func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, 
 			if err != nil {
 				res.CheckpointErrs = append(res.CheckpointErrs,
 					fmt.Errorf("optimizer: checkpoint at t=%.0f: %w", now, err))
+				om.CheckpointErr()
+				env.emit(now, obs.KindCheckpointError, map[string]any{"err": err.Error()})
 			} else {
 				best = nb
 				res.Decisions = append(res.Decisions, Decision{AtTime: now, Chosen: nb})
+				om.Decision(false)
+				env.emit(now, obs.KindPlanChosen, map[string]any{
+					"plan": best.Plan.String(), "effort1": best.Effort[0], "effort2": best.Effort[1], "predicted_time": best.Time})
 			}
 			committed = true
 			continue
@@ -326,6 +370,9 @@ func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, 
 		// Switch: bill the abandoned work and restart with the new plan.
 		res.TotalTime += st.Time
 		switches++
+		om.Decision(true)
+		env.emit(res.TotalTime, obs.KindPlanSwitch, map[string]any{
+			"from": best.Plan.String(), "to": nb.Plan.String(), "switches": switches})
 		best = nb
 		res.Decisions = append(res.Decisions, Decision{AtTime: res.TotalTime, Chosen: best, Switched: true})
 		if exec, err = env.NewExecutor(best.Plan); err != nil {

@@ -1,0 +1,56 @@
+package retrieval
+
+import "joinopt/internal/obs"
+
+// instrumented wraps a strategy and emits a trace event for every query the
+// underlying strategy issues (AQG query batches), detected through Counts
+// deltas so wrapped fault injectors and plain strategies are observed alike.
+// It always exposes the fallible path so a single pull shape reaches the
+// executors regardless of wrapping depth.
+type instrumented struct {
+	s    Strategy
+	side int // 1-based, as rendered in trace events
+	tr   *obs.Trace
+	prev Counts
+}
+
+// Instrument wraps s so query issuance is traced to tr. The side is the
+// 1-based database side used in the emitted events; timestamps come from the
+// trace's clock (bound to the executor's cost-model time by the workload
+// layer). A nil or disabled trace returns s unwrapped.
+func Instrument(s Strategy, side int, tr *obs.Trace) Strategy {
+	if !tr.Enabled() {
+		return s
+	}
+	return &instrumented{s: s, side: side, tr: tr}
+}
+
+// Next implements Strategy.
+func (w *instrumented) Next() (int, bool) {
+	id, ok := w.s.Next()
+	w.observe()
+	return id, ok
+}
+
+// NextFallible implements Fallible, delegating through Pull so plain
+// strategies and fault-wrapped ones are driven uniformly.
+func (w *instrumented) NextFallible() (int, bool, float64, error) {
+	id, ok, cost, err := Pull(w.s)
+	w.observe()
+	return id, ok, cost, err
+}
+
+// observe emits one query event per query issued since the last pull.
+func (w *instrumented) observe() {
+	now := w.s.Counts()
+	for q := w.prev.Queries; q < now.Queries; q++ {
+		w.tr.Emit(obs.KindQuery, w.side, map[string]any{"strategy": string(w.s.Kind()), "n": q + 1})
+	}
+	w.prev = now
+}
+
+// Kind implements Strategy.
+func (w *instrumented) Kind() Kind { return w.s.Kind() }
+
+// Counts implements Strategy.
+func (w *instrumented) Counts() Counts { return w.s.Counts() }

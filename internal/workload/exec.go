@@ -42,7 +42,14 @@ func (w *Workload) NewExecutor(plan optimizer.PlanSpec) (join.Executor, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.State().Deadline = w.Deadline
+	st := e.State()
+	st.Deadline = w.Deadline
+	st.Trace = w.Trace
+	st.Metrics = w.execMetrics()
+	// Bind the trace clock to this executor's cost-model time so sites
+	// without State access (fault injectors, retrieval wrappers) stamp their
+	// events consistently with the executor's own.
+	w.Trace.SetClock(func() float64 { return st.Time })
 	return e, nil
 }
 
@@ -61,6 +68,8 @@ func (w *Workload) NewEnv(thetas []float64) (*optimizer.Env, error) {
 	}
 	env := &optimizer.Env{
 		NewExecutor: w.NewExecutor,
+		Trace:       w.Trace,
+		Metrics:     w.Metrics,
 		NumDocs:     [2]int{w.DB[0].Size(), w.DB[1].Size()},
 		Rates: func(side int, theta float64) (float64, float64) {
 			return rates[side].TP(theta), rates[side].FP(theta)

@@ -11,6 +11,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"joinopt/internal/classifier"
 	"joinopt/internal/corpus"
@@ -18,6 +19,7 @@ import (
 	"joinopt/internal/faults"
 	"joinopt/internal/index"
 	"joinopt/internal/join"
+	"joinopt/internal/obs"
 	"joinopt/internal/qxtract"
 	"joinopt/internal/relation"
 	"joinopt/internal/retrieval"
@@ -75,6 +77,31 @@ type Workload struct {
 	Faults   *faults.Profile
 	Retry    join.RetryPolicy
 	Deadline float64
+
+	// Trace and Metrics, when set, observe every execution built over this
+	// workload: executors stamp span events and mirror their counters, fault
+	// injectors report fired faults, and retrieval strategies report query
+	// issuance. Both are nil by default (zero overhead); set them before
+	// building executors.
+	Trace   *obs.Trace
+	Metrics *obs.Registry
+
+	emMu  sync.Mutex
+	emFor *obs.Registry
+	em    *obs.ExecMetrics
+}
+
+// execMetrics resolves the execution metric bundle against the currently
+// attached registry, memoized per registry so repeated executor construction
+// reuses the same handles (and a registry swapped in between runs is honoured).
+func (w *Workload) execMetrics() *obs.ExecMetrics {
+	w.emMu.Lock()
+	defer w.emMu.Unlock()
+	if w.em == nil || w.emFor != w.Metrics {
+		w.em = obs.NewExecMetrics(w.Metrics)
+		w.emFor = w.Metrics
+	}
+	return w.em
 }
 
 // HQJoinEX builds the paper's primary workload: HQ hosted on an NYT96-like
@@ -293,7 +320,9 @@ func (w *Workload) Side(i int, theta float64) *join.Side {
 		Retry:  w.Retry,
 	}
 	if w.Faults != nil {
-		s.Source = faults.NewFaultyDB(w.DB[i], w.Faults, i)
+		src := faults.NewFaultyDB(w.DB[i], w.Faults, i)
+		src.SetObs(w.Trace, w.execMetrics())
+		s.Source = src
 	}
 	return s
 }
@@ -311,7 +340,9 @@ func (w *Workload) NewStrategy(i int, kind retrieval.Kind) (retrieval.Strategy, 
 	case retrieval.FS:
 		cls := w.Cls[i]
 		if w.Faults != nil {
-			cls = faults.NewFaultyClassifier(cls, w.Faults, i)
+			fcls := faults.NewFaultyClassifier(cls, w.Faults, i)
+			fcls.SetObs(w.Trace, w.execMetrics())
+			cls = fcls
 		}
 		s, err = retrieval.NewFilteredScan(w.DB[i], cls)
 	case retrieval.AQG:
@@ -323,7 +354,9 @@ func (w *Workload) NewStrategy(i int, kind retrieval.Kind) (retrieval.Strategy, 
 		return nil, err
 	}
 	if w.Faults != nil {
-		s = faults.NewFaultyStrategy(s, w.Faults, i)
+		fs := faults.NewFaultyStrategy(s, w.Faults, i)
+		fs.SetObs(w.Trace, w.execMetrics())
+		s = fs
 	}
-	return s, nil
+	return retrieval.Instrument(s, i+1, w.Trace), nil
 }

@@ -13,18 +13,22 @@
 //   - synthetic text-database workloads with controlled extraction-quality
 //     characteristics (NewHQJoinEX),
 //   - the three join execution algorithms, runnable under any plan
-//     (Task.Execute),
+//     (Task.Run with WithPlan),
 //   - analytical models predicting each plan's output quality and time
 //     (Task.EvaluatePlans),
 //   - the quality-aware optimizer, including the fully adaptive variant
 //     that estimates database statistics on the fly (Task.Optimize,
-//     Task.RunAdaptive),
+//     Task.Run),
+//   - execution observability — structured tracing (WithTracer) and a
+//     metrics registry with Prometheus-text export (WithMetrics) — with
+//     zero overhead when detached,
 //   - and the experiment drivers regenerating every figure and table of
 //     the paper's evaluation (Task.Figure, Task.TableII).
 package joinopt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -175,22 +179,6 @@ type Task struct {
 	verifiers  map[verifierKey]*verify.TemplateVerifier
 }
 
-// applyFaults pushes the task's fault configuration into the workload
-// before executors are built.
-func (t *Task) applyFaults() {
-	t.w.Faults = nil
-	if t.Faults != nil {
-		t.w.Faults = t.Faults.p
-	}
-	t.w.Retry = join.RetryPolicy{
-		MaxRetries:    t.Retry.MaxRetries,
-		BaseDelay:     t.Retry.BaseDelay,
-		MaxDelay:      t.Retry.MaxDelay,
-		FailureBudget: t.Retry.FailureBudget,
-	}
-	t.w.Deadline = t.Deadline
-}
-
 // NewHQJoinEX builds the paper's primary workload: the Headquarters
 // ⟨Company, Location⟩ relation hosted on one database joined with the
 // Executives⟨Company, CEO⟩ relation hosted on another.
@@ -312,27 +300,20 @@ type Progress struct {
 
 // Execute runs a specific plan to exhaustion, or until stop returns true
 // (stop may be nil).
+//
+// Deprecated: use Run with WithPlan (and WithStop), which adds context
+// cancellation, observability, and the unified error surface. Execute
+// preserves the historical behaviour of reporting a deadline-stopped run as
+// a nil error.
 func (t *Task) Execute(plan Plan, stop StopCondition) (*Outcome, error) {
-	t.applyFaults()
-	exec, err := t.w.NewExecutor(plan.spec())
+	res, err := t.Run(context.Background(), Requirement{}, WithPlan(plan), WithStop(stop))
+	if errors.Is(err, ErrDeadline) {
+		err = nil
+	}
 	if err != nil {
 		return nil, err
 	}
-	var sf join.StopFunc
-	if stop != nil {
-		sf = func(st *join.State) bool {
-			return stop(Progress{
-				GoodTuples: st.GoodPairs, BadTuples: st.BadPairs,
-				DocsProcessed: st.DocsProcessed, DocsRetrieved: st.DocsRetrieved,
-				Queries: st.Queries, Time: st.Time,
-			})
-		}
-	}
-	st, err := join.Run(exec, sf)
-	if err != nil {
-		return nil, err
-	}
-	return outcomeOf(plan, st), nil
+	return res.Outcome, nil
 }
 
 // PlanEvaluation is the optimizer's model-based assessment of one plan.
@@ -426,6 +407,9 @@ type AdaptiveCheckpoint struct {
 // estimate the database statistics by maximum likelihood, choose the
 // fastest plan predicted to meet the requirement, execute it, and
 // re-optimize at checkpoints.
+//
+// Deprecated: use Run, which adds observability and the unified error
+// surface.
 func (t *Task) RunAdaptive(req Requirement) (*AdaptiveOutcome, error) {
 	return t.RunAdaptiveCtx(context.Background(), req)
 }
@@ -433,52 +417,41 @@ func (t *Task) RunAdaptive(req Requirement) (*AdaptiveOutcome, error) {
 // RunAdaptiveCtx is RunAdaptive under a context: cancellation stops the run
 // cooperatively at the next execution step and returns the context error
 // together with an outcome whose Checkpoint resumes the run.
+//
+// Deprecated: use Run. RunAdaptiveCtx preserves the historical behaviour of
+// reporting a deadline-stopped run as a nil error.
 func (t *Task) RunAdaptiveCtx(ctx context.Context, req Requirement) (*AdaptiveOutcome, error) {
-	t.applyFaults()
-	env, err := t.w.NewEnv(Knobs)
-	if err != nil {
-		return nil, err
-	}
-	res, err := optimizer.RunAdaptiveCtx(ctx, env, optimizer.Requirement(req), optimizer.Options{ChooseWorkers: t.Workers})
-	return adaptiveOutcome(res, err)
+	return adaptiveOutcome(t.Run(ctx, req))
 }
 
 // ResumeAdaptive continues an interrupted adaptive run from its checkpoint.
 // The pilot is not re-run; at zero fault rate the resumed run finishes
 // exactly as the uninterrupted one would have.
+//
+// Deprecated: use Run with WithCheckpoint.
 func (t *Task) ResumeAdaptive(req Requirement, ck *AdaptiveCheckpoint) (*AdaptiveOutcome, error) {
 	if ck == nil {
 		return nil, fmt.Errorf("joinopt: nil checkpoint")
 	}
-	t.applyFaults()
-	env, err := t.w.NewEnv(Knobs)
-	if err != nil {
-		return nil, err
-	}
-	res, err := optimizer.ResumeAdaptive(env, optimizer.Requirement(req), optimizer.Options{ChooseWorkers: t.Workers}, ck.ck)
-	return adaptiveOutcome(res, err)
+	return adaptiveOutcome(t.Run(context.Background(), req, WithCheckpoint(ck)))
 }
 
-// adaptiveOutcome converts an optimizer result, preserving the resumable
-// checkpoint when the run was interrupted.
-func adaptiveOutcome(res *optimizer.Result, err error) (*AdaptiveOutcome, error) {
+// adaptiveOutcome converts a RunResult to the legacy AdaptiveOutcome shape,
+// filtering the deadline sentinel the old API never surfaced.
+func adaptiveOutcome(res *RunResult, err error) (*AdaptiveOutcome, error) {
+	if errors.Is(err, ErrDeadline) {
+		err = nil
+	}
 	if res == nil {
 		return nil, err
 	}
-	out := &AdaptiveOutcome{TotalTime: res.TotalTime}
-	for _, d := range res.Decisions {
-		out.ChosenPlans = append(out.ChosenPlans, planFromSpec(d.Chosen.Plan))
-	}
-	for _, ce := range res.CheckpointErrs {
-		out.CheckpointErrs = append(out.CheckpointErrs, ce.Error())
-	}
-	if res.Checkpoint != nil {
-		out.Checkpoint = &AdaptiveCheckpoint{ck: res.Checkpoint}
-	}
-	if res.Final != nil && len(out.ChosenPlans) > 0 {
-		out.Final = outcomeOf(out.ChosenPlans[len(out.ChosenPlans)-1], res.Final)
-	}
-	return out, err
+	return &AdaptiveOutcome{
+		Final:          res.Outcome,
+		ChosenPlans:    res.Plans,
+		TotalTime:      res.TotalTime,
+		CheckpointErrs: res.CheckpointErrs,
+		Checkpoint:     res.Checkpoint,
+	}, err
 }
 
 // Figure regenerates one of the paper's evaluation figures ("fig9",

@@ -1,0 +1,73 @@
+// Observability overhead benchmarks (`make bench-overhead`): the same full
+// executor run with observability detached (the nil fast path every
+// uninstrumented caller takes), with a ring trace + metrics registry
+// attached, and with an NDJSON stream. The nil-path timing must stay within
+// 2% of the pre-instrumentation BenchmarkIDJNFullScan baseline — the nil
+// checks and the Enabled() guards are all the disabled path pays.
+package joinopt_test
+
+import (
+	"io"
+	"testing"
+
+	"joinopt/internal/join"
+	"joinopt/internal/obs"
+	"joinopt/internal/optimizer"
+	"joinopt/internal/retrieval"
+	"joinopt/internal/workload"
+)
+
+// benchInstrumentedRun executes one full IDJN Scan/Scan run through
+// workload.NewExecutor — the construction path that attaches the workload's
+// trace and metrics to the executor state.
+func benchInstrumentedRun(b *testing.B, w *workload.Workload) int {
+	b.Helper()
+	e, err := w.NewExecutor(optimizer.PlanSpec{
+		JN:    optimizer.IDJN,
+		Theta: [2]float64{0.4, 0.4},
+		X:     [2]retrieval.Kind{retrieval.SC, retrieval.SC},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := join.Run(e, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st.GoodPairs
+}
+
+func BenchmarkIDJNFullScanNilObs(b *testing.B) {
+	w := benchWorkload(b)
+	w.Trace, w.Metrics = nil, nil
+	b.ResetTimer()
+	var good float64
+	for i := 0; i < b.N; i++ {
+		good = float64(benchInstrumentedRun(b, w))
+	}
+	b.ReportMetric(good, "good-pairs")
+}
+
+func BenchmarkIDJNFullScanRingTraced(b *testing.B) {
+	w := benchWorkload(b)
+	w.Trace, w.Metrics = obs.New(obs.NewRing(obs.DefaultRingCapacity)), obs.NewRegistry()
+	defer func() { w.Trace, w.Metrics = nil, nil }()
+	b.ResetTimer()
+	var good float64
+	for i := 0; i < b.N; i++ {
+		good = float64(benchInstrumentedRun(b, w))
+	}
+	b.ReportMetric(good, "good-pairs")
+}
+
+func BenchmarkIDJNFullScanNDJSON(b *testing.B) {
+	w := benchWorkload(b)
+	w.Trace, w.Metrics = obs.New(obs.NewNDJSON(io.Discard)), obs.NewRegistry()
+	defer func() { w.Trace, w.Metrics = nil, nil }()
+	b.ResetTimer()
+	var good float64
+	for i := 0; i < b.N; i++ {
+		good = float64(benchInstrumentedRun(b, w))
+	}
+	b.ReportMetric(good, "good-pairs")
+}

@@ -1,0 +1,57 @@
+package joinopt
+
+import (
+	"io"
+
+	"joinopt/internal/obs"
+)
+
+// Trace is a structured execution tracer: every observable step of a run —
+// plan decisions, document fetches, tuple extraction and joining, retries,
+// faults, checkpoints, plan switches — is emitted as a timestamped event to
+// the trace's sinks. Timestamps are cost-model time, so a seeded run's trace
+// is deterministic. A nil *Trace is valid and free: every emission no-ops.
+type Trace = obs.Trace
+
+// TraceEvent is one emitted trace record: a monotone sequence number, the
+// cost-model timestamp, the event kind (e.g. "exec.step", "retry",
+// "plan.chosen"), the 1-based database side (0 = not side-specific), and
+// kind-specific attributes.
+type TraceEvent = obs.Event
+
+// TraceSink receives trace events.
+type TraceSink = obs.Tracer
+
+// RingSink is an in-memory flight recorder keeping the most recent events.
+type RingSink = obs.Ring
+
+// TraceFile writes events as newline-delimited JSON — the -trace file
+// format.
+type TraceFile = obs.NDJSON
+
+// Metrics is a registry of named counters, gauges, and histograms populated
+// by instrumented runs. Export a point-in-time copy with Snapshot (or String
+// for expvar-style JSON), or encode the Prometheus text format with
+// WritePrometheus. A nil *Metrics is valid and free.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of every registered metric.
+type MetricsSnapshot = obs.Snapshot
+
+// NewTrace builds a trace fanning out to the given sinks. With no non-nil
+// sinks it returns nil — the disabled trace.
+func NewTrace(sinks ...TraceSink) *Trace { return obs.New(sinks...) }
+
+// NewRingSink builds an in-memory ring sink holding up to capacity events
+// (a default capacity when capacity <= 0).
+func NewRingSink(capacity int) *RingSink { return obs.NewRing(capacity) }
+
+// NewTraceFile builds an NDJSON sink over w.
+func NewTraceFile(w io.Writer) *TraceFile { return obs.NewNDJSON(w) }
+
+// CreateTraceFile creates (truncating) an NDJSON trace file at path. Close
+// it to flush.
+func CreateTraceFile(path string) (*TraceFile, error) { return obs.CreateNDJSON(path) }
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }

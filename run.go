@@ -1,0 +1,258 @@
+package joinopt
+
+import (
+	"context"
+	"fmt"
+
+	"joinopt/internal/faults"
+	"joinopt/internal/join"
+	"joinopt/internal/obs"
+	"joinopt/internal/optimizer"
+)
+
+// RunOption configures one Run call. Options override the task-level
+// defaults (Task.Faults, Task.Retry, Task.Deadline, Task.Workers) for that
+// call only.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	plan    *Plan
+	stop    StopCondition
+	trace   *Trace
+	metrics *Metrics
+	ck      *AdaptiveCheckpoint
+
+	faults    *FaultProfile
+	faultsSet bool
+	retry     *RetryPolicy
+	deadline  *float64
+	workers   *int
+}
+
+// WithPlan pins the run to a specific execution plan instead of letting the
+// adaptive optimizer choose one: the plan runs to exhaustion (or until a
+// WithStop condition, the deadline, or context cancellation stops it), and
+// the requirement passed to Run is ignored.
+func WithPlan(plan Plan) RunOption {
+	return func(c *runConfig) { c.plan = &plan }
+}
+
+// WithStop installs a stop condition on a fixed-plan run (see WithPlan); it
+// is inspected after every executor step. Adaptive runs ignore it — their
+// stopping policy is the optimizer's.
+func WithStop(stop StopCondition) RunOption {
+	return func(c *runConfig) { c.stop = stop }
+}
+
+// WithFaults overrides the task's fault profile for this run (nil disables
+// injection).
+func WithFaults(p *FaultProfile) RunOption {
+	return func(c *runConfig) { c.faults = p; c.faultsSet = true }
+}
+
+// WithRetries overrides the task's retry policy for this run.
+func WithRetries(p RetryPolicy) RunOption {
+	return func(c *runConfig) { c.retry = &p }
+}
+
+// WithDeadline overrides the task's cost-model deadline for this run
+// (0 = none). A deadline-stopped Run returns its partial result together
+// with an error wrapping ErrDeadline.
+func WithDeadline(d float64) RunOption {
+	return func(c *runConfig) { c.deadline = &d }
+}
+
+// WithWorkers overrides the task's optimizer worker bound for this run.
+func WithWorkers(n int) RunOption {
+	return func(c *runConfig) { c.workers = &n }
+}
+
+// WithTracer attaches a trace to the run: executors, fault injectors,
+// retrieval strategies, and the adaptive optimizer emit structured events to
+// it. A nil trace is free (the instrumentation short-circuits).
+func WithTracer(tr *Trace) RunOption {
+	return func(c *runConfig) { c.trace = tr }
+}
+
+// WithMetrics attaches a metrics registry to the run: live counters mirror
+// the execution as it progresses, and the joinopt_run_* gauges report the
+// final Result exactly when the run completes.
+func WithMetrics(m *Metrics) RunOption {
+	return func(c *runConfig) { c.metrics = m }
+}
+
+// WithCheckpoint resumes an interrupted adaptive run from its checkpoint
+// instead of starting a fresh one (the pilot is not re-run). Ignored on
+// fixed-plan runs.
+func WithCheckpoint(ck *AdaptiveCheckpoint) RunOption {
+	return func(c *runConfig) { c.ck = ck }
+}
+
+// RunResult is the outcome of a Run: the executed final outcome, the plan
+// decision sequence (a single entry on fixed-plan runs), the total billed
+// cost-model time including pilot and abandoned work, any non-fatal
+// checkpoint optimization failures, and — when the run was interrupted by
+// context cancellation — the checkpoint to resume it from.
+type RunResult struct {
+	Outcome        *Outcome
+	Plans          []Plan
+	TotalTime      float64
+	CheckpointErrs []string
+	Checkpoint     *AdaptiveCheckpoint
+}
+
+// configure merges the task defaults with the per-run options and pushes the
+// result into the workload. It returns the merged config.
+func (t *Task) configure(opts []RunOption) *runConfig {
+	cfg := &runConfig{}
+	for _, o := range opts {
+		o(cfg)
+	}
+	var fp *faults.Profile
+	switch {
+	case cfg.faultsSet && cfg.faults != nil:
+		fp = cfg.faults.p
+	case !cfg.faultsSet && t.Faults != nil:
+		fp = t.Faults.p
+	}
+	retry := t.Retry
+	if cfg.retry != nil {
+		retry = *cfg.retry
+	}
+	deadline := t.Deadline
+	if cfg.deadline != nil {
+		deadline = *cfg.deadline
+	}
+	if cfg.workers == nil {
+		cfg.workers = &t.Workers
+	}
+	t.w.Faults = fp
+	t.w.Retry = join.RetryPolicy{
+		MaxRetries:    retry.MaxRetries,
+		BaseDelay:     retry.BaseDelay,
+		MaxDelay:      retry.MaxDelay,
+		FailureBudget: retry.FailureBudget,
+	}
+	t.w.Deadline = deadline
+	t.w.Trace = cfg.trace
+	t.w.Metrics = cfg.metrics
+	return cfg
+}
+
+// Run is the task's single execution entry point. By default it runs the
+// paper's §VI adaptive protocol against req: scan a pilot window, estimate
+// the database statistics, choose the fastest plan predicted to meet the
+// requirement, execute it, and re-optimize at checkpoints. WithPlan pins a
+// specific plan instead (req is then ignored), and WithCheckpoint resumes an
+// interrupted adaptive run. Context cancellation stops the run cooperatively
+// at the next executor step, returning the partial result (with a resumable
+// Checkpoint on adaptive runs) together with ctx.Err(); a deadline-stopped
+// run returns its result together with an error wrapping ErrDeadline.
+//
+// Run replaces Execute, RunAdaptive, RunAdaptiveCtx, and ResumeAdaptive,
+// which remain as thin deprecated wrappers.
+func (t *Task) Run(ctx context.Context, req Requirement, opts ...RunOption) (*RunResult, error) {
+	cfg := t.configure(opts)
+	if cfg.plan != nil {
+		return t.runFixed(ctx, cfg)
+	}
+	return t.runAdaptive(ctx, req, cfg)
+}
+
+// runFixed executes one pinned plan.
+func (t *Task) runFixed(ctx context.Context, cfg *runConfig) (*RunResult, error) {
+	plan := *cfg.plan
+	if cfg.trace.Enabled() {
+		cfg.trace.EmitAt(0, obs.KindRunStart, 0, map[string]any{"mode": "fixed", "plan": plan.String()})
+	}
+	exec, err := t.w.NewExecutor(plan.spec())
+	if err != nil {
+		return nil, err
+	}
+	var sf join.StopFunc
+	if cfg.stop != nil {
+		sf = func(st *join.State) bool {
+			return cfg.stop(Progress{
+				GoodTuples: st.GoodPairs, BadTuples: st.BadPairs,
+				DocsProcessed: st.DocsProcessed, DocsRetrieved: st.DocsRetrieved,
+				Queries: st.Queries, Time: st.Time,
+			})
+		}
+	}
+	st, err := join.RunCtx(ctx, exec, sf)
+	out := outcomeOf(plan, st)
+	res := &RunResult{Outcome: out, Plans: []Plan{plan}, TotalTime: st.Time}
+	t.sealRun(cfg, res, "fixed")
+	if err == nil && st.DeadlineHit {
+		err = fmt.Errorf("joinopt: %s: %w", plan, ErrDeadline)
+	}
+	return res, err
+}
+
+// runAdaptive executes (or resumes) the adaptive protocol.
+func (t *Task) runAdaptive(ctx context.Context, req Requirement, cfg *runConfig) (*RunResult, error) {
+	mode := "adaptive"
+	if cfg.ck != nil {
+		mode = "resume"
+	}
+	if cfg.trace.Enabled() {
+		cfg.trace.EmitAt(0, obs.KindRunStart, 0, map[string]any{"mode": mode, "tau_g": req.TauG, "tau_b": req.TauB})
+	}
+	env, err := t.w.NewEnv(Knobs)
+	if err != nil {
+		return nil, err
+	}
+	oopts := optimizer.Options{ChooseWorkers: *cfg.workers}
+	var ores *optimizer.Result
+	if cfg.ck != nil {
+		ores, err = optimizer.ResumeAdaptiveCtx(ctx, env, optimizer.Requirement(req), oopts, cfg.ck.ck)
+	} else {
+		ores, err = optimizer.RunAdaptiveCtx(ctx, env, optimizer.Requirement(req), oopts)
+	}
+	if ores == nil {
+		return nil, err
+	}
+	res := &RunResult{TotalTime: ores.TotalTime}
+	for _, d := range ores.Decisions {
+		res.Plans = append(res.Plans, planFromSpec(d.Chosen.Plan))
+	}
+	for _, ce := range ores.CheckpointErrs {
+		res.CheckpointErrs = append(res.CheckpointErrs, ce.Error())
+	}
+	if ores.Checkpoint != nil {
+		res.Checkpoint = &AdaptiveCheckpoint{ck: ores.Checkpoint}
+	}
+	if ores.Final != nil && len(res.Plans) > 0 {
+		res.Outcome = outcomeOf(res.Plans[len(res.Plans)-1], ores.Final)
+	}
+	t.sealRun(cfg, res, mode)
+	if err == nil && res.Outcome != nil && res.Outcome.DeadlineHit {
+		err = fmt.Errorf("joinopt: %s: %w", res.Outcome.Plan, ErrDeadline)
+	}
+	return res, err
+}
+
+// sealRun publishes the run-level gauges and the run.end trace event from a
+// completed run's result.
+func (t *Task) sealRun(cfg *runConfig, res *RunResult, mode string) {
+	switches := len(res.Plans) - 1
+	if switches < 0 {
+		switches = 0
+	}
+	if o := res.Outcome; o != nil {
+		obs.PublishRun(cfg.metrics, o.DocsProcessed, o.DocsFailed, o.RetriesSpent, o.Queries,
+			o.GoodTuples, o.BadTuples, o.Time, res.TotalTime, o.Degraded, o.DeadlineHit, switches)
+	}
+	if cfg.trace.Enabled() {
+		attrs := map[string]any{"mode": mode, "total_time": res.TotalTime, "checkpoint_errs": len(res.CheckpointErrs)}
+		if o := res.Outcome; o != nil {
+			attrs["plan"] = o.Plan.String()
+			attrs["good"] = o.GoodTuples
+			attrs["bad"] = o.BadTuples
+			attrs["time"] = o.Time
+			attrs["degraded"] = o.Degraded
+			attrs["deadline_hit"] = o.DeadlineHit
+		}
+		cfg.trace.EmitAt(res.TotalTime, obs.KindRunEnd, 0, attrs)
+	}
+}
