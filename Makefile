@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race transparency bench bench-overhead
+.PHONY: check build vet test race transparency bench bench-overhead bench-json bench-json-check
 
 # check is the full pre-merge gate: static checks, a clean build, the test
 # suite, the race detector over the concurrent packages (the optimizer's
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/optimizer/... ./internal/join/... ./internal/faults/... ./internal/workload/... ./internal/obs/...
+	$(GO) test -race ./internal/optimizer/... ./internal/join/... ./internal/faults/... ./internal/workload/... ./internal/obs/... ./internal/pipeline/...
 
 transparency:
 	$(GO) test ./internal/join/ -run TestZeroRateFaultTransparency -count=1
@@ -28,6 +28,18 @@ transparency:
 # Choose on the 256-plan space, and cold vs warm memoization sweeps.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkChoose' -benchtime 10x .
+
+# bench-json runs the pipelined-executor benchmarks (all three algorithms,
+# sequential vs 4 workers, plus the plan-space sweep) and captures the results
+# as BENCH_exec.json; bench-json-check verifies the recorded speedups (it
+# skips, by design, on single-CPU machines where overlap cannot help).
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkExec(IDJN|OIJN|ZGJN)8k|BenchmarkChoosePlanSpace8k' -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -o BENCH_exec.json
+	@cat BENCH_exec.json
+
+bench-json-check: bench-json
+	$(GO) run ./cmd/benchjson -check BENCH_exec.json
 
 # bench-overhead compares a full executor run with observability detached
 # (the nil fast path), with a ring trace + metrics attached, and with an

@@ -435,6 +435,7 @@ func BenchmarkOptimizerChoose(b *testing.B) {
 
 var (
 	bench8kOnce sync.Once
+	bench8kWL   *workload.Workload
 	bench8kIn   *optimizer.Inputs
 	bench8kErr  error
 )
@@ -443,21 +444,28 @@ var (
 // optimizer's own decision cost starts to matter.
 var bench8kThetas = []float64{0.2, 0.4, 0.6, 0.8}
 
-// bench8kInputs builds perfect-knowledge inputs over an 8k-document corpus
-// with four knob settings, shared across the plan-space benchmarks.
-func bench8kInputs(b *testing.B) *optimizer.Inputs {
+// bench8kWorkload builds the 8k-document corpus shared by the plan-space and
+// executor benchmarks; construction cost is excluded from timings.
+func bench8kWorkload(b *testing.B) *workload.Workload {
 	b.Helper()
 	bench8kOnce.Do(func() {
-		var w *workload.Workload
-		w, bench8kErr = workload.HQJoinEX(workload.Params{NumDocs: 8000, Seed: 1})
+		bench8kWL, bench8kErr = workload.HQJoinEX(workload.Params{NumDocs: 8000, Seed: 1})
 		if bench8kErr != nil {
 			return
 		}
-		bench8kIn, bench8kErr = w.TrueInputs(bench8kThetas)
+		bench8kIn, bench8kErr = bench8kWL.TrueInputs(bench8kThetas)
 	})
 	if bench8kErr != nil {
 		b.Fatal(bench8kErr)
 	}
+	return bench8kWL
+}
+
+// bench8kInputs builds perfect-knowledge inputs over the 8k-document corpus
+// with four knob settings, shared across the plan-space benchmarks.
+func bench8kInputs(b *testing.B) *optimizer.Inputs {
+	b.Helper()
+	bench8kWorkload(b)
 	return bench8kIn
 }
 

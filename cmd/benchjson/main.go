@@ -1,0 +1,172 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// JSON report, and checks the pipelined-executor speedup claims against one.
+//
+// Emit mode (default): parse benchmark lines from stdin and write
+// BENCH_exec.json-style output to -o (or stdout):
+//
+//	go test -run '^$' -bench 'BenchmarkExec' . | benchjson -o BENCH_exec.json
+//
+// Check mode: `benchjson -check BENCH_exec.json` verifies every
+// BenchmarkExec*/seq vs /workers4 pair. The report records the GOMAXPROCS the
+// benchmarks ran under; on a single-CPU box a parallel speedup is impossible
+// by construction, so the check skips (exit 0) below 2 CPUs rather than fail
+// on hardware the claim does not apply to. With 2–3 CPUs the pipeline must at
+// least not lose to sequential (within -slack); at 4+ CPUs the IDJN pair must
+// reach -min-speedup (default 2×).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the BENCH_exec.json schema.
+type Report struct {
+	GoMaxProcs int         `json:"go_max_procs"`
+	GoVersion  string      `json:"go_version"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8   12   3456 ns/op   78 B/op   9 allocs/op`;
+// the trailing -N is the GOMAXPROCS suffix the test runner appends.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func parse(lines *bufio.Scanner) ([]Benchmark, error) {
+	var out []Benchmark
+	for lines.Scan() {
+		m := benchLine.FindStringSubmatch(lines.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("iterations in %q: %w", lines.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ns/op in %q: %w", lines.Text(), err)
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
+		// The remainder holds `<v> B/op` and `<v> allocs/op` value/unit pairs.
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out, lines.Err()
+}
+
+// check verifies the seq-vs-workers4 pairs in a previously emitted report.
+func check(path string, minSpeedup, slack float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.GoMaxProcs < 2 {
+		fmt.Printf("benchjson: GOMAXPROCS=%d — parallel speedup not measurable on this machine, skipping check\n", rep.GoMaxProcs)
+		return nil
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	pairs := 0
+	for name, seq := range byName {
+		if !strings.HasSuffix(name, "/seq") || !strings.HasPrefix(name, "BenchmarkExec") {
+			continue
+		}
+		par, ok := byName[strings.TrimSuffix(name, "/seq")+"/workers4"]
+		if !ok {
+			return fmt.Errorf("%s has no workers4 counterpart", name)
+		}
+		pairs++
+		speedup := seq.NsPerOp / par.NsPerOp
+		fmt.Printf("benchjson: %-24s seq %.0f ns/op, workers4 %.0f ns/op, speedup %.2fx\n",
+			strings.TrimSuffix(strings.TrimPrefix(name, "Benchmark"), "/seq"), seq.NsPerOp, par.NsPerOp, speedup)
+		if speedup < 1/(1+slack) {
+			return fmt.Errorf("%s: 4-worker pipeline is %.2fx slower than sequential (allowed slack %.0f%%)",
+				name, 1/speedup, slack*100)
+		}
+		if rep.GoMaxProcs >= 4 && strings.Contains(name, "IDJN") && speedup < minSpeedup {
+			return fmt.Errorf("%s: speedup %.2fx below the required %.1fx at GOMAXPROCS=%d",
+				name, speedup, minSpeedup, rep.GoMaxProcs)
+		}
+	}
+	if pairs == 0 {
+		return fmt.Errorf("%s holds no BenchmarkExec*/seq results", path)
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	checkPath := flag.String("check", "", "check an existing report instead of emitting one")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "required IDJN seq/workers4 speedup at GOMAXPROCS >= 4")
+	slack := flag.Float64("slack", 0.10, "allowed fractional regression of workers4 vs seq")
+	flag.Parse()
+
+	if *checkPath != "" {
+		if err := check(*checkPath, *minSpeedup, *slack); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	benches, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	rep := Report{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(), Benchmarks: benches}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"joinopt/internal/experiments"
 	"joinopt/internal/faults"
 	"joinopt/internal/obs"
+	"joinopt/internal/pipeline"
 	"joinopt/internal/workload"
 )
 
@@ -38,6 +39,9 @@ func main() {
 		csv     = flag.String("csv", "", "also write results as CSV files into this directory")
 		workers = flag.Int("workers", 0, "optimizer plan-evaluation workers (0 = all cores, 1 = sequential)")
 		faultsF = flag.String("faults", "", "inject faults into every experiment's executions, e.g. rate=0.02,seed=9")
+
+		execWorkers  = flag.Int("exec-workers", 0, "pipelined extraction workers per execution (0 = sequential; results are bit-identical at any setting)")
+		extractCache = flag.Int64("extract-cache", 0, "shared extraction cache capacity in bytes (0 = disabled)")
 
 		tracePath   = flag.String("trace", "", "write the NDJSON execution trace of every run to this file")
 		metricsFlag = flag.Bool("metrics", false, "print the Prometheus-text metrics snapshot at the end")
@@ -79,6 +83,10 @@ func main() {
 	}
 	if w.Faults, err = faults.Parse(*faultsF); err != nil {
 		fatal(err)
+	}
+	w.ExecWorkers = *execWorkers
+	if *extractCache > 0 {
+		w.ExtractCache = pipeline.NewCache(*extractCache)
 	}
 	var traceFile *obs.NDJSON
 	if *tracePath != "" {

@@ -51,6 +51,9 @@ func main() {
 		show    = flag.Int("show", 5, "number of join tuples to print")
 		workers = flag.Int("workers", 0, "optimizer plan-evaluation workers (0 = all cores, 1 = sequential)")
 
+		execWorkers  = flag.Int("exec-workers", 0, "pipelined extraction workers per execution (0 = sequential; results are bit-identical at any setting)")
+		extractCache = flag.Int64("extract-cache", 0, "shared extraction cache capacity in bytes (0 = disabled)")
+
 		faultsFlag = flag.String("faults", "", "fault-injection profile, e.g. rate=0.05,seed=9,burst=2 (empty = none)")
 		retries    = flag.Int("retries", 0, "max retries per failed substrate call (0 = default 3, -1 = disabled)")
 		failBudget = flag.Int("failure-budget", 0, "abort once this many documents per side are lost (0 = unlimited)")
@@ -117,6 +120,8 @@ func main() {
 		fatal(err)
 	}
 	task.Workers = *workers
+	task.ExecWorkers = *execWorkers
+	task.ExtractCacheBytes = *extractCache
 	if task.Faults, err = joinopt.ParseFaultProfile(*faultsFlag); err != nil {
 		fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"joinopt/internal/relation"
 	"joinopt/internal/textgen"
@@ -68,9 +69,16 @@ type System struct {
 
 	tagger *Tagger
 
+	extracts atomic.Int64
+
 	cacheMu sync.RWMutex
 	cache   map[string][]Candidate
 }
+
+// Extracts returns the number of Extract calls made so far — the real
+// extractor invocations, counted regardless of the candidate cache. Tests
+// use it to assert that the pipelined extraction cache actually avoids work.
+func (s *System) Extracts() int64 { return s.extracts.Load() }
 
 // EnableCache memoizes candidate extraction per document text. Tagging and
 // scoring dominate extraction cost; plan sweeps that process the same
@@ -80,6 +88,17 @@ type System struct {
 func (s *System) EnableCache() {
 	s.cacheMu.Lock()
 	if s.cache == nil {
+		s.cache = map[string][]Candidate{}
+	}
+	s.cacheMu.Unlock()
+}
+
+// ResetCache drops every memoized candidate entry but keeps the cache
+// enabled. Benchmarks reset between iterations so each measures the full
+// extraction pipeline rather than a map lookup.
+func (s *System) ResetCache() {
+	s.cacheMu.Lock()
+	if s.cache != nil {
 		s.cache = map[string][]Candidate{}
 	}
 	s.cacheMu.Unlock()
@@ -200,6 +219,7 @@ func (s *System) slotPairs(entities []Entity) []relation.Tuple {
 // Extract runs the system over text at knob configuration theta (minSim)
 // and returns the emitted tuples, deduplicated, in deterministic order.
 func (s *System) Extract(text string, theta float64) []relation.Tuple {
+	s.extracts.Add(1)
 	seen := map[relation.Tuple]bool{}
 	var out []relation.Tuple
 	for _, c := range s.Candidates(text) {

@@ -117,6 +117,12 @@ func NewFaultyStrategy(s retrieval.Strategy, p *Profile, side int) *FaultyStrate
 // Next implements retrieval.Strategy (fault-free delegate).
 func (f *FaultyStrategy) Next() (int, bool) { return f.s.Next() }
 
+// Peek implements retrieval.Peeker when the wrapped strategy supports it.
+// Peeks are fault-free: they perform no accountable work and never consume
+// the injection stream, so pipelined and sequential runs see identical
+// fault sequences.
+func (f *FaultyStrategy) Peek(k int) []int { return retrieval.PeekAhead(f.s, k) }
+
 // Kind implements retrieval.Strategy.
 func (f *FaultyStrategy) Kind() retrieval.Kind { return f.s.Kind() }
 

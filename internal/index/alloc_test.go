@@ -1,0 +1,107 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+)
+
+// allocCorpus builds a corpus whose multi-term queries match many documents,
+// exercising both the intersection and (with a cap) the top-k selection.
+func allocCorpus(topK int) (*Index, []Query) {
+	texts := make([]string, 2000)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("acme dynamics corp report %d from sector %d", i, i%7)
+	}
+	ix := New(texts, topK)
+	return ix, []Query{
+		QueryFromValue("Acme Dynamics"),
+		{Terms: []string{"corp", "report"}},
+		{Terms: []string{"sector", "acme"}},
+	}
+}
+
+// TestSearchIntoReusesBuffer is the hot-path allocation guard: once the
+// caller's buffer has grown to the result size, SearchInto on an uncapped
+// index must not allocate at all. The OIJN and ZGJN inner loops depend on
+// this (they issue one query per join value).
+func TestSearchIntoReusesBuffer(t *testing.T) {
+	ix, queries := allocCorpus(0)
+	var buf []int
+	for _, q := range queries { // warm the buffer to its high-water mark
+		buf = ix.SearchInto(q, buf[:0])
+	}
+	for _, q := range queries {
+		q := q
+		allocs := testing.AllocsPerRun(100, func() {
+			buf = ix.SearchInto(q, buf[:0])
+		})
+		if allocs != 0 {
+			t.Errorf("SearchInto(%v) with warm buffer: %.1f allocs/op, want 0", q, allocs)
+		}
+	}
+}
+
+// TestSearchIntoTopKBounded guards the capped path: the top-k selection is
+// heap-based and must not allocate per result — only the per-term query
+// hashing may allocate, independent of how many documents match.
+func TestSearchIntoTopKBounded(t *testing.T) {
+	ix, queries := allocCorpus(10)
+	var buf []int
+	for _, q := range queries {
+		buf = ix.SearchInto(q, buf[:0])
+	}
+	for _, q := range queries {
+		q := q
+		allocs := testing.AllocsPerRun(100, func() {
+			buf = ix.SearchInto(q, buf[:0])
+		})
+		// fnv hasher + one []byte conversion per term.
+		if max := float64(1 + len(q.Terms)); allocs > max {
+			t.Errorf("SearchInto(%v) top-k: %.1f allocs/op, want <= %.0f (per-term hashing only)", q, allocs, max)
+		}
+	}
+}
+
+// TestSearchIntoMatchesSearch cross-checks the buffered path against the
+// allocating one across cap settings.
+func TestSearchIntoMatchesSearch(t *testing.T) {
+	for _, topK := range []int{0, 10} {
+		ix, queries := allocCorpus(topK)
+		var buf []int
+		for _, q := range queries {
+			want := ix.Search(q)
+			buf = ix.SearchInto(q, buf[:0])
+			if len(buf) != len(want) {
+				t.Fatalf("topK=%d %v: SearchInto %d results, Search %d", topK, q, len(buf), len(want))
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("topK=%d %v: result %d is %d, want %d", topK, q, i, buf[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSearchInto measures the reused-buffer hot path; allocs/op is the
+// guarded figure (see TestSearchIntoReusesBuffer).
+func BenchmarkSearchInto(b *testing.B) {
+	ix, queries := allocCorpus(10)
+	var buf []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ix.SearchInto(queries[i%len(queries)], buf[:0])
+	}
+}
+
+// BenchmarkSearchAlloc is the pre-existing allocating entry point, kept as
+// the comparison baseline.
+func BenchmarkSearchAlloc(b *testing.B) {
+	ix, queries := allocCorpus(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Search(queries[i%len(queries)])
+	}
+}

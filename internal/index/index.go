@@ -10,7 +10,7 @@ package index
 
 import (
 	"hash/fnv"
-	"sort"
+	"slices"
 	"strings"
 	"unicode"
 )
@@ -84,7 +84,7 @@ func (ix *Index) DocFreq(term string) int {
 // Matches returns every document matching q, ignoring the top-k cap. Model
 // parameter measurement uses it to compute H(q); executions must use Search.
 func (ix *Index) Matches(q Query) []int {
-	return ix.intersect(q)
+	return ix.intersectInto(q, nil)
 }
 
 // Search returns the documents matching q, capped at top-k. Ranking is by a
@@ -95,7 +95,17 @@ func (ix *Index) Matches(q Query) []int {
 // behind the paper's query-retrieval analysis (Equation 2). Results are
 // returned in document-ID order.
 func (ix *Index) Search(q Query) []int {
-	res := ix.intersect(q)
+	return ix.SearchInto(q, nil)
+}
+
+// SearchInto is Search with a caller-owned result buffer: the result is
+// written into buf's backing array (grown as needed) and returned, valid
+// until the next call reusing the buffer. The OIJN and ZGJN inner loops
+// issue a query per join value, so buffer reuse removes the per-call
+// allocations from their hot path (the index benchmark guards the
+// allocation count).
+func (ix *Index) SearchInto(q Query, buf []int) []int {
+	res := ix.intersectInto(q, buf)
 	if ix.topK > 0 && len(res) > ix.topK {
 		seed := fnv.New64a()
 		for _, t := range q.Terms {
@@ -103,13 +113,47 @@ func (ix *Index) Search(q Query) []int {
 			seed.Write([]byte{0})
 		}
 		base := seed.Sum64()
-		sort.Slice(res, func(i, j int) bool {
-			return docScore(base, res[i]) < docScore(base, res[j])
-		})
+		selectTopK(res, ix.topK, base)
 		res = res[:ix.topK]
-		sort.Ints(res)
+		slices.Sort(res)
 	}
 	return res
+}
+
+// selectTopK rearranges res so its first k elements are the k lowest-scored
+// documents, using an in-place max-heap over the prefix — no comparator
+// closures, so no allocation. The selected set is exact; order within the
+// prefix is unspecified (callers re-sort by ID).
+func selectTopK(res []int, k int, base uint64) {
+	down := func(h []int, i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(h) {
+				return
+			}
+			big := l
+			if r := l + 1; r < len(h) && docScore(base, h[r]) > docScore(base, h[l]) {
+				big = r
+			}
+			if docScore(base, h[big]) <= docScore(base, h[i]) {
+				return
+			}
+			h[i], h[big] = h[big], h[i]
+			i = big
+		}
+	}
+	h := res[:k]
+	for i := k/2 - 1; i >= 0; i-- {
+		down(h, i)
+	}
+	top := docScore(base, h[0])
+	for _, id := range res[k:] {
+		if s := docScore(base, id); s < top {
+			h[0] = id
+			down(h, 0)
+			top = docScore(base, h[0])
+		}
+	}
 }
 
 // docScore hashes a (query, document) pair into a deterministic rank.
@@ -121,36 +165,40 @@ func docScore(base uint64, docID int) uint64 {
 	return x
 }
 
-func (ix *Index) intersect(q Query) []int {
+// intersectInto writes the conjunctive match set into buf's backing array
+// (grown as needed). The rarest posting list seeds the result, which is then
+// narrowed in place against the remaining lists — never aliasing a posting
+// list and never allocating beyond buf growth.
+func (ix *Index) intersectInto(q Query, buf []int) []int {
 	if len(q.Terms) == 0 {
 		return nil
 	}
-	lists := make([][]int, 0, len(q.Terms))
-	for _, t := range q.Terms {
+	rare := -1
+	for ti, t := range q.Terms {
 		l := ix.postings[strings.ToLower(t)]
 		if len(l) == 0 {
 			return nil
 		}
-		lists = append(lists, l)
+		if rare < 0 || len(l) < len(ix.postings[strings.ToLower(q.Terms[rare])]) {
+			rare = ti
+		}
 	}
-	// Intersect starting from the rarest list.
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	res := lists[0]
-	for _, l := range lists[1:] {
-		res = intersectSorted(res, l)
-		if len(res) == 0 {
+	out := append(buf[:0], ix.postings[strings.ToLower(q.Terms[rare])]...)
+	for ti, t := range q.Terms {
+		if ti == rare {
+			continue
+		}
+		out = intersectSortedInPlace(out, ix.postings[strings.ToLower(t)])
+		if len(out) == 0 {
 			return nil
 		}
 	}
-	// res aliases a posting list only when len(lists) == 1; copy for safety.
-	out := make([]int, len(res))
-	copy(out, res)
 	return out
 }
 
-func intersectSorted(a, b []int) []int {
-	out := a[:0:0]
-	i, j := 0, 0
+// intersectSortedInPlace narrows sorted a to a ∩ b, writing into a's prefix.
+func intersectSortedInPlace(a, b []int) []int {
+	i, j, k := 0, 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] < b[j]:
@@ -158,10 +206,11 @@ func intersectSorted(a, b []int) []int {
 		case a[i] > b[j]:
 			j++
 		default:
-			out = append(out, a[i])
+			a[k] = a[i]
+			k++
 			i++
 			j++
 		}
 	}
-	return out
+	return a[:k]
 }

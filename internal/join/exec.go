@@ -14,6 +14,7 @@ import (
 	"joinopt/internal/extract"
 	"joinopt/internal/index"
 	"joinopt/internal/obs"
+	"joinopt/internal/pipeline"
 	"joinopt/internal/relation"
 	"joinopt/internal/retrieval"
 )
@@ -113,6 +114,14 @@ type State struct {
 	// overhead benchmarks pin the disabled path under 2%.
 	Trace   *obs.Trace
 	Metrics *obs.ExecMetrics
+
+	// Pipeline, when set, overlaps document extraction with the execution:
+	// executors announce upcoming documents for speculative extraction on a
+	// worker pool and processDoc collects the results in stream order, so
+	// tuples, accounting, traces, and fault streams stay bit-identical to
+	// the nil (sequential) engine. Its shared cache makes re-extraction of
+	// an already-paid (document, θ) free: zero tE, counted as a cache hit.
+	Pipeline *pipeline.Engine
 
 	totalPairs     int
 	golds          [2]*relation.Gold
@@ -289,6 +298,14 @@ func (st *State) chargeStrategy(i int, c Costs, prev, now retrieval.Counts) {
 // lost to exhausted retries is skipped and accounted (nil tuples, nil
 // error); the error is non-nil only when the failure budget aborts the
 // execution.
+//
+// With a pipeline engine attached, extraction resolves through it: cache
+// hits are charged zero tE, and speculative worker results are collected
+// here, on the stepping goroutine, in stream order. A document whose fetch
+// returned modified text (a fault-truncated copy — detected by pointer
+// inequality against the database's own record) bypasses the engine
+// entirely: its tuples are not the document's canonical extraction and must
+// be neither served from nor inserted into the shared cache.
 func processDoc(st *State, i int, s *Side, docID int) ([]relation.Tuple, error) {
 	doc, ok, err := fetchDoc(st, i, s, docID)
 	if err != nil {
@@ -297,12 +314,45 @@ func processDoc(st *State, i int, s *Side, docID int) ([]relation.Tuple, error) 
 	if !ok {
 		return nil, nil
 	}
-	tuples := s.System.Extract(doc.Text, s.Theta)
+	var tuples []relation.Tuple
+	hit := false
+	if st.Pipeline.Active() {
+		key := pipeline.Key{Side: i, DocID: docID, Theta: s.Theta}
+		if doc == s.DB.Doc(docID) {
+			var evicted int
+			tuples, hit, evicted = st.Pipeline.Resolve(key, func() []relation.Tuple {
+				return s.System.Extract(doc.Text, s.Theta)
+			})
+			if st.Pipeline.HasCache() {
+				if hit {
+					st.Metrics.CacheHit(i)
+				} else {
+					st.Metrics.CacheMiss(i)
+				}
+				st.Metrics.CacheEvict(evicted)
+			}
+		} else {
+			// A faulted fetch handed out a different document body (a
+			// truncated copy) than the one workers speculated on: extract it
+			// inline, abandon the speculation, and keep the cache clean of
+			// truncated results.
+			st.Pipeline.Drop(key)
+			tuples = s.System.Extract(doc.Text, s.Theta)
+		}
+	} else {
+		tuples = s.System.Extract(doc.Text, s.Theta)
+	}
 	st.DocsProcessed[i]++
-	st.Time += s.Costs.TE
+	if !hit {
+		st.Time += s.Costs.TE
+	}
 	st.Metrics.Processed(i)
 	if st.Trace.Enabled() {
-		st.Trace.EmitAt(st.Time, obs.KindDocProcessed, i+1, map[string]any{"doc": docID, "tuples": len(tuples)})
+		attrs := map[string]any{"doc": docID, "tuples": len(tuples)}
+		if hit {
+			attrs["cached"] = true
+		}
+		st.Trace.EmitAt(st.Time, obs.KindDocProcessed, i+1, attrs)
 	}
 	if len(tuples) > 0 {
 		st.YieldDocs[i]++
@@ -315,6 +365,12 @@ func processDoc(st *State, i int, s *Side, docID int) ([]relation.Tuple, error) 
 		st.addTuple(i, t)
 	}
 	return tuples, nil
+}
+
+// announce schedules speculative extraction of an upcoming side-i document
+// on the pipeline engine (a no-op without one).
+func (st *State) announce(i int, s *Side, docID int) {
+	st.Pipeline.Announce(pipeline.Key{Side: i, DocID: docID, Theta: s.Theta})
 }
 
 // texts extracts the raw document texts of a database, for index building.

@@ -63,6 +63,24 @@ func (e *IDJN) Algorithm() string { return "IDJN" }
 // State implements Executor.
 func (e *IDJN) State() *State { return e.st }
 
+// announce feeds the pipeline engine the documents each retrieval stream
+// will hand out next (peeked without advancing the streams), so workers can
+// extract ahead of the consumer.
+func (e *IDJN) announce() {
+	n := e.st.Pipeline.Lookahead()
+	if n == 0 {
+		return
+	}
+	for i := 0; i < 2; i++ {
+		if e.done[i] {
+			continue
+		}
+		for _, id := range retrieval.PeekAhead(e.strat[i], n) {
+			e.st.announce(i, e.sides[i], id)
+		}
+	}
+}
+
 // Step retrieves and processes the next document(s) from each database at
 // the configured rates. It returns false once both strategies are exhausted.
 func (e *IDJN) Step() (bool, error) {
@@ -70,6 +88,7 @@ func (e *IDJN) Step() (bool, error) {
 	if e.done[0] && e.done[1] {
 		return false, nil
 	}
+	e.announce()
 	for i := 0; i < 2; i++ {
 		if e.done[i] {
 			continue

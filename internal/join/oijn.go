@@ -22,6 +22,7 @@ type OIJN struct {
 
 	queried   map[string]bool // join values already used as queries
 	innerSeen map[int]bool    // inner documents already processed
+	searchBuf []int           // reused inner-query result buffer
 	done      bool
 	st        *State
 }
@@ -73,6 +74,11 @@ func (e *OIJN) Step() (bool, error) {
 	if e.done {
 		return false, nil
 	}
+	if n := e.st.Pipeline.Lookahead(); n > 0 {
+		for _, peek := range retrieval.PeekAhead(e.strat, n) {
+			e.st.announce(e.outerIdx, e.outer, peek)
+		}
+	}
 	id, ok, skip, err := pullDoc(e.st, e.outerIdx, e.outer, e.strat)
 	now := e.strat.Counts()
 	e.st.chargeStrategy(e.outerIdx, e.outer.Costs, e.prev, now)
@@ -108,7 +114,17 @@ func (e *OIJN) Step() (bool, error) {
 		if e.st.Trace.Enabled() {
 			e.st.Trace.EmitAt(e.st.Time, obs.KindQuery, innerIdx+1, map[string]any{"alg": "OIJN", "value": a})
 		}
-		for _, docID := range e.inner.Index.Search(index.QueryFromValue(a)) {
+		e.searchBuf = e.inner.Index.SearchInto(index.QueryFromValue(a), e.searchBuf[:0])
+		if e.st.Pipeline.Lookahead() > 0 {
+			// The whole inner batch is known before any of it is processed —
+			// announce it all so workers extract ahead of the loop below.
+			for _, docID := range e.searchBuf {
+				if !e.innerSeen[docID] {
+					e.st.announce(innerIdx, e.inner, docID)
+				}
+			}
+		}
+		for _, docID := range e.searchBuf {
 			if e.innerSeen[docID] {
 				continue
 			}

@@ -16,12 +16,13 @@ import (
 type ZGJN struct {
 	sides [2]*Side
 
-	queues  [2][]string        // pending query values per side
-	queued  [2]map[string]bool // values ever enqueued per side
-	seen    [2]map[int]bool    // documents processed per side
-	turn    int                // which side's queue to service next
-	stalled bool
-	st      *State
+	queues    [2][]string        // pending query values per side
+	queued    [2]map[string]bool // values ever enqueued per side
+	seen      [2]map[int]bool    // documents processed per side
+	searchBuf []int              // reused query result buffer
+	turn      int                // which side's queue to service next
+	stalled   bool
+	st        *State
 }
 
 // NewZGJN builds a Zig-Zag join seeded with join-attribute values to query
@@ -100,7 +101,17 @@ func (e *ZGJN) Step() (bool, error) {
 	if e.st.Trace.Enabled() {
 		e.st.Trace.EmitAt(e.st.Time, obs.KindQuery, i+1, map[string]any{"alg": "ZGJN", "value": value})
 	}
-	for _, docID := range side.Index.Search(index.QueryFromValue(value)) {
+	e.searchBuf = side.Index.SearchInto(index.QueryFromValue(value), e.searchBuf[:0])
+	if e.st.Pipeline.Lookahead() > 0 {
+		// The query's whole result batch is known up front — announce it so
+		// workers extract ahead of the loop below.
+		for _, docID := range e.searchBuf {
+			if !e.seen[i][docID] {
+				e.st.announce(i, side, docID)
+			}
+		}
+	}
+	for _, docID := range e.searchBuf {
 		if e.seen[i][docID] {
 			continue
 		}

@@ -21,6 +21,9 @@ const (
 	MetricStepTime       = "joinopt_step_model_time"
 	MetricModelTime      = "joinopt_model_time"
 	MetricQueueDepth     = "joinopt_zgjn_queue_depth"
+	MetricCacheHits      = "joinopt_extract_cache_hits_total"
+	MetricCacheMisses    = "joinopt_extract_cache_misses_total"
+	MetricCacheEvictions = "joinopt_extract_cache_evictions_total"
 
 	MetricDecisions       = "joinopt_plan_decisions_total"
 	MetricSwitches        = "joinopt_plan_switches_total"
@@ -64,6 +67,9 @@ type ExecMetrics struct {
 	failed     [2]*Counter
 	faults     [2]*Counter
 	queueDepth [2]*Gauge
+	cacheHits  [2]*Counter
+	cacheMiss  [2]*Counter
+	cacheEvict *Counter
 	good, bad  *Gauge
 	modelTime  *Gauge
 	steps      map[string]*Counter
@@ -90,12 +96,16 @@ func NewExecMetrics(r *Registry) *ExecMetrics {
 	r.Describe(MetricStepTime, "cost-model time per executor step")
 	r.Describe(MetricModelTime, "cost-model time of the current execution")
 	r.Describe(MetricQueueDepth, "pending zig-zag query values")
+	r.Describe(MetricCacheHits, "extraction cache hits (re-extractions made free)")
+	r.Describe(MetricCacheMisses, "extraction cache misses (full extraction charged)")
+	r.Describe(MetricCacheEvictions, "extraction cache entries evicted at the byte bound")
 	m := &ExecMetrics{
-		good:      r.Gauge(MetricTuplesGood),
-		bad:       r.Gauge(MetricTuplesBad),
-		modelTime: r.Gauge(MetricModelTime),
-		stepTime:  r.Histogram(MetricStepTime, stepTimeBounds),
-		steps:     map[string]*Counter{},
+		good:       r.Gauge(MetricTuplesGood),
+		bad:        r.Gauge(MetricTuplesBad),
+		modelTime:  r.Gauge(MetricModelTime),
+		stepTime:   r.Histogram(MetricStepTime, stepTimeBounds),
+		steps:      map[string]*Counter{},
+		cacheEvict: r.Counter(MetricCacheEvictions),
 	}
 	for _, alg := range []string{"IDJN", "OIJN", "ZGJN"} {
 		m.steps[alg] = r.Counter(MetricSteps + `{alg="` + alg + `"}`)
@@ -109,6 +119,8 @@ func NewExecMetrics(r *Registry) *ExecMetrics {
 		m.failed[side] = r.Counter(sideSeries(MetricDocsFailed, side))
 		m.faults[side] = r.Counter(sideSeries(MetricFaultsInjected, side))
 		m.queueDepth[side] = r.Gauge(sideSeries(MetricQueueDepth, side))
+		m.cacheHits[side] = r.Counter(sideSeries(MetricCacheHits, side))
+		m.cacheMiss[side] = r.Counter(sideSeries(MetricCacheMisses, side))
 	}
 	return m
 }
@@ -179,6 +191,27 @@ func (m *ExecMetrics) StepDone(alg string, at, dt float64) {
 	m.steps[alg].Inc()
 	m.stepTime.Observe(dt)
 	m.modelTime.Set(at)
+}
+
+// CacheHit counts one extraction-cache hit on side.
+func (m *ExecMetrics) CacheHit(side int) {
+	if m != nil {
+		m.cacheHits[side].Inc()
+	}
+}
+
+// CacheMiss counts one extraction-cache miss on side.
+func (m *ExecMetrics) CacheMiss(side int) {
+	if m != nil {
+		m.cacheMiss[side].Inc()
+	}
+}
+
+// CacheEvict counts n extraction-cache evictions.
+func (m *ExecMetrics) CacheEvict(n int) {
+	if m != nil && n != 0 {
+		m.cacheEvict.Add(int64(n))
+	}
 }
 
 // QueueDepth publishes side's pending zig-zag query count.

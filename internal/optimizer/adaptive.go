@@ -52,6 +52,18 @@ type Env struct {
 	// BadInGoodPrior seeds the estimator (see estimate.Observation).
 	BadInGoodPrior float64
 
+	// ExecWorkers is the pipelined worker count executions will run under,
+	// forwarded into every Inputs the adaptive protocol assembles so plan
+	// time predictions account for extraction overlap (see
+	// Inputs.ExecWorkers). 0/1 = sequential.
+	ExecWorkers int
+
+	// CacheHitRate, when set, reports the observed extraction-cache hit
+	// rate of side so far (0 when cold). Checkpoint re-optimizations fold
+	// it into Inputs.CacheHitRate: documents the cache already holds are
+	// free to re-extract under a plan switch.
+	CacheHitRate func(side int) float64
+
 	// Trace and Metrics, when set, observe the adaptive protocol itself:
 	// pilot completion, plan decisions, checkpoints (and their non-fatal
 	// failures), and plan switches, plus per-phase model/wall time. Both are
@@ -553,12 +565,16 @@ func effectiveDocs(st *join.State, side, numDocs int) int {
 // state and assembles the optimizer inputs for every knob setting.
 func (env *Env) estimateInputs(st *join.State, obsTheta float64) (*Inputs, error) {
 	in := &Inputs{
-		Thetas:     env.Thetas,
-		Ov:         model.Overlaps{},
-		Costs:      env.Costs,
-		CasualHits: env.CasualHits,
-		Mentioned:  env.Mentioned,
-		SeedCount:  env.SeedCount,
+		Thetas:      env.Thetas,
+		Ov:          model.Overlaps{},
+		Costs:       env.Costs,
+		CasualHits:  env.CasualHits,
+		Mentioned:   env.Mentioned,
+		SeedCount:   env.SeedCount,
+		ExecWorkers: env.ExecWorkers,
+	}
+	if env.CacheHitRate != nil {
+		in.CacheHitRate = [2]float64{env.CacheHitRate(0), env.CacheHitRate(1)}
 	}
 	var ests [2]*estimate.Estimated
 	var obs [2]estimate.Observation

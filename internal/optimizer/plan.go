@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"joinopt/internal/model"
+	"joinopt/internal/pipeline"
 	"joinopt/internal/retrieval"
 )
 
@@ -123,6 +124,19 @@ type Inputs struct {
 	// list (lowest predicted time, ties broken by plan order).
 	Workers int
 
+	// ExecWorkers is the pipelined execution worker count the chosen plan
+	// will run under (0/1 = sequential). Prediction only: extraction
+	// overlaps across up to min(ExecWorkers, pipeline window) documents, so
+	// the model scales the per-document extraction charge accordingly.
+	// Executed cost accounting is unaffected.
+	ExecWorkers int
+
+	// CacheHitRate is the expected extraction-cache hit rate per side in
+	// [0, 1]; a hit makes that document's extraction free. Zero (the
+	// default) models a cold or absent cache. Set before the first Evaluate
+	// or Choose call — plan evaluations are memoized on first use.
+	CacheHitRate [2]float64
+
 	// memo caches derived model state (parameter lookups, plan closures,
 	// quality/time points) across Evaluate and Choose calls; see memo.go.
 	// It attaches lazily, so fresh Inputs always start with a fresh cache.
@@ -132,6 +146,29 @@ type Inputs struct {
 // params resolves the parameter set of side at theta through the memo.
 func (in *Inputs) params(side int, theta float64) (*model.RelationParams, error) {
 	return in.cachedParams(side, theta)
+}
+
+// effCosts returns side's cost parameters as plan-time prediction should see
+// them under pipelined execution: the expected extraction charge shrinks by
+// the anticipated cache hit rate, and by the overlap a worker pool provides
+// (bounded by the pipeline lookahead window). Executed runs still charge the
+// full tE per cache miss — this adjustment only sharpens predictions.
+func (in *Inputs) effCosts(side int) model.Costs {
+	c := in.Costs[side]
+	if hr := in.CacheHitRate[side]; hr > 0 {
+		if hr > 1 {
+			hr = 1
+		}
+		c.TE *= 1 - hr
+	}
+	if in.ExecWorkers > 1 {
+		overlap := in.ExecWorkers
+		if overlap > pipeline.DefaultWindow {
+			overlap = pipeline.DefaultWindow
+		}
+		c.TE /= float64(overlap)
+	}
+	return c
 }
 
 // lookupParams is the uncached resolution behind params.

@@ -77,7 +77,7 @@ func idjnFuncsRatio(plan PlanSpec, in *Inputs, ratio float64) (*planFns, string,
 			return m.Estimate(e, side2(e))
 		},
 		timeAt: func(e int) (float64, error) {
-			return m.Time(e, side2(e), in.Costs[0], in.Costs[1])
+			return m.Time(e, side2(e), in.effCosts(0), in.effCosts(1))
 		},
 		effortPair: func(e int) [2]int { return [2]int{e, side2(e)} },
 	}
@@ -118,8 +118,8 @@ func oijnFuncs(plan PlanSpec, in *Inputs) (*planFns, string, error) {
 	if max == 0 {
 		return nil, "no outer retrieval capacity", nil
 	}
-	cOuter := in.Costs[plan.OuterIdx]
-	cInner := in.Costs[inner]
+	cOuter := in.effCosts(plan.OuterIdx)
+	cInner := in.effCosts(inner)
 	fns := &planFns{
 		max:     max,
 		quality: m.Estimate,
@@ -177,7 +177,7 @@ func zgjnFuncs(plan PlanSpec, in *Inputs) (*planFns, string, error) {
 			return m.EstimateAtQueries(qn, qn)
 		},
 		timeAt: func(qn int) (float64, error) {
-			return m.Time(qn, qn, in.Costs[0], in.Costs[1])
+			return m.Time(qn, qn, in.effCosts(0), in.effCosts(1))
 		},
 		effortPair: func(qn int) [2]int { return [2]int{qn, qn} },
 	}

@@ -1,0 +1,166 @@
+package pipeline
+
+import (
+	"sync"
+
+	"joinopt/internal/relation"
+)
+
+// DefaultWindow is the reorder-buffer bound: the maximum number of
+// announced extractions in flight per execution. It is also the pipeline
+// width the optimizer's overlap model uses — effective tP scales by
+// 1/min(workers, DefaultWindow).
+const DefaultWindow = 32
+
+// future is one speculative extraction: workers publish tuples and close
+// done; the consumer reads tuples only after done, so the channel close is
+// the sole synchronization point.
+type future struct {
+	done   chan struct{}
+	tuples []relation.Tuple
+}
+
+// Engine is the per-execution pipeline front end: Announce schedules
+// speculative extraction of upcoming documents on the worker pool, and
+// Resolve — called by the executor's single stepping goroutine, in stream
+// order — returns each document's tuples from the shared cache, from a
+// completed (or awaited) speculation, or by extracting inline. The in-flight
+// futures keyed by document form the reorder buffer: workers complete in any
+// order, the consumer collects strictly in consumption order.
+//
+// All methods must be called from the consumer goroutine. A nil *Engine is
+// the sequential path: Resolve extracts inline, everything else no-ops.
+type Engine struct {
+	cache   *Cache
+	extract func(Key) []relation.Tuple
+	workers int
+	window  int
+
+	sem chan struct{} // worker-pool slots
+
+	mu       sync.Mutex
+	inflight map[Key]*future
+	seen     map[Key]struct{} // keys resolved or announced this execution
+}
+
+// NewEngine builds an engine over a shared extraction cache (nil = no
+// caching) and a worker pool of the given size (< 1 = no speculation).
+// extract must be a pure function of the key — it runs on worker goroutines.
+// When both caching and speculation are disabled it returns nil, the
+// zero-overhead sequential engine.
+func NewEngine(cache *Cache, workers int, extract func(Key) []relation.Tuple) *Engine {
+	if cache == nil && workers < 1 {
+		return nil
+	}
+	e := &Engine{
+		cache:    cache,
+		extract:  extract,
+		workers:  workers,
+		window:   DefaultWindow,
+		inflight: map[Key]*future{},
+		seen:     map[Key]struct{}{},
+	}
+	if workers >= 1 {
+		e.sem = make(chan struct{}, workers)
+	}
+	return e
+}
+
+// Active reports whether the engine changes the execution path at all.
+func (e *Engine) Active() bool { return e != nil }
+
+// HasCache reports whether an extraction cache is attached.
+func (e *Engine) HasCache() bool { return e != nil && e.cache != nil }
+
+// Lookahead returns how many upcoming documents an executor should announce
+// per step — the reorder-buffer window when speculation is on, 0 otherwise.
+func (e *Engine) Lookahead() int {
+	if e == nil || e.sem == nil {
+		return 0
+	}
+	return e.window
+}
+
+// Announce schedules speculative extraction of k. Keys already resolved,
+// cached, in flight, or beyond the window bound are skipped — announcing is
+// always safe and never changes results, only overlap. Dropped
+// announcements simply fall back to inline extraction at Resolve time.
+func (e *Engine) Announce(k Key) {
+	if e == nil || e.sem == nil {
+		return
+	}
+	e.mu.Lock()
+	if _, dup := e.seen[k]; dup {
+		e.mu.Unlock()
+		return
+	}
+	if _, dup := e.inflight[k]; dup || len(e.inflight) >= e.window {
+		e.mu.Unlock()
+		return
+	}
+	if e.cache.Contains(k) {
+		e.mu.Unlock()
+		return
+	}
+	fut := &future{done: make(chan struct{})}
+	e.inflight[k] = fut
+	e.mu.Unlock()
+	go func() {
+		e.sem <- struct{}{}
+		fut.tuples = e.extract(k)
+		<-e.sem
+		close(fut.done)
+	}()
+}
+
+// Resolve returns k's tuples: a cache hit is free (hit=true, and the caller
+// charges zero tP); otherwise the speculative result is awaited (or inline
+// runs the extraction on the calling goroutine) and the result enters the
+// cache, paying full tP. evicted reports cache entries displaced by the
+// insertion. The first resolution of a key always pays — speculation only
+// moves work onto workers, it never changes what an execution is charged —
+// so accounting is independent of prefetch timing.
+func (e *Engine) Resolve(k Key, inline func() []relation.Tuple) (tuples []relation.Tuple, hit bool, evicted int) {
+	if e == nil {
+		return inline(), false, 0
+	}
+	e.mu.Lock()
+	e.seen[k] = struct{}{}
+	fut := e.inflight[k]
+	if fut != nil {
+		delete(e.inflight, k)
+	}
+	e.mu.Unlock()
+	if t, ok := e.cache.Get(k); ok {
+		return t, true, 0
+	}
+	if fut != nil {
+		<-fut.done
+		tuples = fut.tuples
+	} else {
+		tuples = inline()
+	}
+	evicted = e.cache.Put(k, tuples)
+	return tuples, false, evicted
+}
+
+// Drop abandons any speculative extraction of k without consuming or caching
+// its result, freeing the key's reorder-buffer slot. Executors call it when a
+// substrate fault hands them a different document body (a truncated fetch)
+// than the one workers speculated on.
+func (e *Engine) Drop(k Key) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	delete(e.inflight, k)
+	e.mu.Unlock()
+}
+
+// Cache exposes the attached shared cache (nil when caching is off).
+func (e *Engine) Cache() *Cache {
+	if e == nil {
+		return nil
+	}
+	return e.cache
+}

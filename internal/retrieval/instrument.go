@@ -49,6 +49,10 @@ func (w *instrumented) observe() {
 	w.prev = now
 }
 
+// Peek implements Peeker when the wrapped strategy supports it. Peeks are
+// not traced: they perform no accountable work.
+func (w *instrumented) Peek(k int) []int { return PeekAhead(w.s, k) }
+
 // Kind implements Strategy.
 func (w *instrumented) Kind() Kind { return w.s.Kind() }
 

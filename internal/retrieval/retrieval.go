@@ -66,11 +66,32 @@ func Pull(s Strategy) (docID int, ok bool, cost float64, err error) {
 	return id, ok, 0, nil
 }
 
+// Peeker is a strategy that can reveal the documents it expects to hand out
+// next without advancing the stream. Peeking performs no accountable work:
+// counts, fault streams, and stream position are untouched, so executions
+// with and without peeking stay bit-identical. The peek is a best-effort
+// prediction used by the pipelined executor to start extraction early —
+// inaccuracy wastes speculative work but never affects results.
+type Peeker interface {
+	Peek(k int) []int
+}
+
+// PeekAhead returns up to k upcoming document IDs from s when it supports
+// peeking, and nil otherwise. The returned slice is owned by the strategy
+// and valid only until its next method call.
+func PeekAhead(s Strategy, k int) []int {
+	if p, ok := s.(Peeker); ok && k > 0 {
+		return p.Peek(k)
+	}
+	return nil
+}
+
 // Scan retrieves every document sequentially.
 type Scan struct {
-	n      int
-	next   int
-	counts Counts
+	n       int
+	next    int
+	counts  Counts
+	peekBuf []int
 }
 
 // NewScan returns a Scan over a database of numDocs documents.
@@ -87,6 +108,16 @@ func (s *Scan) Next() (int, bool) {
 	return id, true
 }
 
+// Peek implements Peeker: the scan order is fixed, so the next k documents
+// are simply the next k IDs.
+func (s *Scan) Peek(k int) []int {
+	s.peekBuf = s.peekBuf[:0]
+	for id := s.next; id < s.n && id < s.next+k; id++ {
+		s.peekBuf = append(s.peekBuf, id)
+	}
+	return s.peekBuf
+}
+
 // Kind implements Strategy.
 func (s *Scan) Kind() Kind { return SC }
 
@@ -101,6 +132,12 @@ type FilteredScan struct {
 	c      classifier.Classifier
 	next   int
 	counts Counts
+
+	// Peek memo: documents in [next, peekPos) have been classified ahead,
+	// with the accepted IDs buffered in peekBuf. Peeking re-runs the
+	// classifier read-only; it never touches next or counts.
+	peekPos int
+	peekBuf []int
 }
 
 // NewFilteredScan returns a Filtered Scan over db using c.
@@ -154,6 +191,34 @@ func (f *FilteredScan) NextFallible() (int, bool, float64, error) {
 	return 0, false, cost, nil
 }
 
+// Peek implements Peeker: it classifies ahead of the scan position (through
+// the plain, fault-free classifier path) and returns up to k upcoming
+// accepted documents. Results already consumed by Next are dropped from the
+// memo; positions classified ahead are never re-classified.
+func (f *FilteredScan) Peek(k int) []int {
+	drop := 0
+	for drop < len(f.peekBuf) && f.peekBuf[drop] < f.next {
+		drop++
+	}
+	if drop > 0 {
+		f.peekBuf = append(f.peekBuf[:0], f.peekBuf[drop:]...)
+	}
+	if f.peekPos < f.next {
+		f.peekPos = f.next
+	}
+	for len(f.peekBuf) < k && f.peekPos < f.db.Size() {
+		id := f.peekPos
+		f.peekPos++
+		if f.c.Classify(f.db.Doc(id).Text) {
+			f.peekBuf = append(f.peekBuf, id)
+		}
+	}
+	if len(f.peekBuf) > k {
+		return f.peekBuf[:k]
+	}
+	return f.peekBuf
+}
+
 // Kind implements Strategy.
 func (f *FilteredScan) Kind() Kind { return FS }
 
@@ -202,6 +267,16 @@ func (a *AQGStrategy) Next() (int, bool) {
 			}
 		}
 	}
+}
+
+// Peek implements Peeker: it reveals the buffered results of already-issued
+// queries. No new queries are issued (that would be accountable work), so
+// the peek may return fewer than k documents.
+func (a *AQGStrategy) Peek(k int) []int {
+	if len(a.buffer) > k {
+		return a.buffer[:k]
+	}
+	return a.buffer
 }
 
 // Kind implements Strategy.

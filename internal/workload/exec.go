@@ -8,6 +8,8 @@ import (
 	"joinopt/internal/join"
 	"joinopt/internal/model"
 	"joinopt/internal/optimizer"
+	"joinopt/internal/pipeline"
+	"joinopt/internal/relation"
 	"joinopt/internal/retrieval"
 )
 
@@ -46,6 +48,11 @@ func (w *Workload) NewExecutor(plan optimizer.PlanSpec) (join.Executor, error) {
 	st.Deadline = w.Deadline
 	st.Trace = w.Trace
 	st.Metrics = w.execMetrics()
+	if w.ExecWorkers >= 1 || w.ExtractCache != nil {
+		st.Pipeline = pipeline.NewEngine(w.ExtractCache, w.ExecWorkers, func(k pipeline.Key) []relation.Tuple {
+			return w.Sys[k.Side].Extract(w.DB[k.Side].Doc(k.DocID).Text, k.Theta)
+		})
+	}
 	// Bind the trace clock to this executor's cost-model time so sites
 	// without State access (fault injectors, retrieval wrappers) stamp their
 	// events consistently with the executor's own.
@@ -81,6 +88,11 @@ func (w *Workload) NewEnv(thetas []float64) (*optimizer.Env, error) {
 		SeedCount:      len(w.Seeds),
 		TopK:           [2]int{w.Ix[0].TopK(), w.Ix[1].TopK()},
 		BadInGoodPrior: 0.3,
+		ExecWorkers:    w.ExecWorkers,
+	}
+	if w.ExtractCache != nil {
+		cache := w.ExtractCache
+		env.CacheHitRate = func(int) float64 { return cache.HitRate() }
 	}
 	for i := 0; i < 2; i++ {
 		aqg, err := w.aqgParams(i)

@@ -20,6 +20,7 @@ import (
 	"joinopt/internal/index"
 	"joinopt/internal/join"
 	"joinopt/internal/obs"
+	"joinopt/internal/pipeline"
 	"joinopt/internal/qxtract"
 	"joinopt/internal/relation"
 	"joinopt/internal/retrieval"
@@ -77,6 +78,19 @@ type Workload struct {
 	Faults   *faults.Profile
 	Retry    join.RetryPolicy
 	Deadline float64
+
+	// ExecWorkers, when >= 1, runs every executor built over this workload
+	// with a pipelined extraction pool of that many workers (see
+	// internal/pipeline): document extraction overlaps ahead of the
+	// consumer while results, cost accounting, traces, and snapshots stay
+	// bit-identical to the sequential execution. 0 = sequential.
+	ExecWorkers int
+
+	// ExtractCache, when set, shares one byte-bounded extraction cache
+	// across every execution built over this workload — pilot, abandoned,
+	// and final plans alike — so re-processing a document at the same θ is
+	// free. Hits, misses, and evictions surface through Metrics.
+	ExtractCache *pipeline.Cache
 
 	// Trace and Metrics, when set, observe every execution built over this
 	// workload: executors stamp span events and mirror their counters, fault

@@ -36,6 +36,7 @@ import (
 	"joinopt/internal/faults"
 	"joinopt/internal/join"
 	"joinopt/internal/optimizer"
+	"joinopt/internal/pipeline"
 	"joinopt/internal/relation"
 	"joinopt/internal/retrieval"
 	"joinopt/internal/verify"
@@ -175,8 +176,53 @@ type Task struct {
 	Retry    RetryPolicy
 	Deadline float64
 
+	// ExecWorkers runs every execution of this task with a pipelined
+	// extraction pool of that many workers: document extraction overlaps
+	// ahead of the in-order consumer while tuples, cost accounting, traces,
+	// and snapshots stay bit-identical to the sequential execution (0 or 1 =
+	// sequential wall-clock behaviour).
+	ExecWorkers int
+
+	// ExtractCacheBytes, when positive, shares one byte-bounded extraction
+	// cache across every execution of a Run — pilot, abandoned, and final
+	// plans alike — so re-processing a document at the same θ is charged
+	// zero extraction time. Inspect it with ExtractionCacheStats.
+	ExtractCacheBytes int64
+
+	cacheMu  sync.Mutex
+	cache    *pipeline.Cache
+	cacheCap int64
+
 	verifierMu sync.Mutex
 	verifiers  map[verifierKey]*verify.TemplateVerifier
+}
+
+// CacheStats is a point-in-time snapshot of the shared extraction cache's
+// counters (hits, misses, evictions, resident bytes and entries).
+type CacheStats = pipeline.CacheStats
+
+// ExtractionCacheStats returns the current counters of the task's shared
+// extraction cache. The zero value is returned when no cache is configured.
+func (t *Task) ExtractionCacheStats() CacheStats {
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
+	return t.cache.Stats()
+}
+
+// extractCache resolves the shared cache at the requested capacity, reusing
+// the existing cache (and its contents) while the capacity is unchanged.
+func (t *Task) extractCache(bytes int64) *pipeline.Cache {
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
+	if bytes <= 0 {
+		t.cache, t.cacheCap = nil, 0
+		return nil
+	}
+	if t.cache == nil || t.cacheCap != bytes {
+		t.cache = pipeline.NewCache(bytes)
+		t.cacheCap = bytes
+	}
+	return t.cache
 }
 
 // NewHQJoinEX builds the paper's primary workload: the Headquarters

@@ -22,11 +22,13 @@ type runConfig struct {
 	metrics *Metrics
 	ck      *AdaptiveCheckpoint
 
-	faults    *FaultProfile
-	faultsSet bool
-	retry     *RetryPolicy
-	deadline  *float64
-	workers   *int
+	faults      *FaultProfile
+	faultsSet   bool
+	retry       *RetryPolicy
+	deadline    *float64
+	workers     *int
+	execWorkers *int
+	cacheBytes  *int64
 }
 
 // WithPlan pins the run to a specific execution plan instead of letting the
@@ -65,6 +67,23 @@ func WithDeadline(d float64) RunOption {
 // WithWorkers overrides the task's optimizer worker bound for this run.
 func WithWorkers(n int) RunOption {
 	return func(c *runConfig) { c.workers = &n }
+}
+
+// WithExecWorkers overrides the task's pipelined execution worker count for
+// this run (0 or 1 = sequential). Any setting produces bit-identical
+// results, accounting, and traces; workers only overlap extraction
+// wall-clock time.
+func WithExecWorkers(n int) RunOption {
+	return func(c *runConfig) { c.execWorkers = &n }
+}
+
+// WithExtractionCache overrides the task's extraction-cache capacity in
+// bytes for this run (0 disables caching). The cache is shared across the
+// run's pilot, abandoned, and final executions — and across later runs at
+// the same capacity — so re-extracting a cached document at the same θ is
+// charged zero extraction time.
+func WithExtractionCache(bytes int64) RunOption {
+	return func(c *runConfig) { c.cacheBytes = &bytes }
 }
 
 // WithTracer attaches a trace to the run: executors, fault injectors,
@@ -126,6 +145,16 @@ func (t *Task) configure(opts []RunOption) *runConfig {
 	if cfg.workers == nil {
 		cfg.workers = &t.Workers
 	}
+	execWorkers := t.ExecWorkers
+	if cfg.execWorkers != nil {
+		execWorkers = *cfg.execWorkers
+	}
+	cacheBytes := t.ExtractCacheBytes
+	if cfg.cacheBytes != nil {
+		cacheBytes = *cfg.cacheBytes
+	}
+	t.w.ExecWorkers = execWorkers
+	t.w.ExtractCache = t.extractCache(cacheBytes)
 	t.w.Faults = fp
 	t.w.Retry = join.RetryPolicy{
 		MaxRetries:    retry.MaxRetries,
