@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race transparency bench bench-overhead bench-json bench-json-check
+.PHONY: check build vet test race transparency serve-smoke bench bench-overhead bench-json bench-json-check
 
 # check is the full pre-merge gate: static checks, a clean build, the test
 # suite, the race detector over the concurrent packages (the optimizer's
@@ -19,10 +19,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/optimizer/... ./internal/join/... ./internal/faults/... ./internal/workload/... ./internal/obs/... ./internal/pipeline/...
+	$(GO) test -race ./internal/optimizer/... ./internal/join/... ./internal/faults/... ./internal/workload/... ./internal/obs/... ./internal/pipeline/... ./internal/service/...
+	$(GO) test -race -run TestConcurrentRunsOnOneTask -count=1 .
 
 transparency:
 	$(GO) test ./internal/join/ -run TestZeroRateFaultTransparency -count=1
+
+# serve-smoke boots the real joinoptd binary on a random port, drives one
+# adaptive job end to end over HTTP (submit, event stream, result, metrics
+# scrape), then SIGTERMs it and requires a clean drain.
+serve-smoke:
+	$(GO) test ./cmd/joinoptd -run TestServeSmoke -count=1 -v
 
 # bench runs the optimizer plan-space benchmarks: sequential vs parallel
 # Choose on the 256-plan space, and cold vs warm memoization sweeps.

@@ -38,7 +38,7 @@ func main() {
 		th      = flag.Float64("theta", 0.4, "knob setting for the accuracy figures (fig9-fig11)")
 		csv     = flag.String("csv", "", "also write results as CSV files into this directory")
 		workers = flag.Int("workers", 0, "optimizer plan-evaluation workers (0 = all cores, 1 = sequential)")
-		faultsF = flag.String("faults", "", "inject faults into every experiment's executions, e.g. rate=0.02,seed=9")
+		faultsF = flag.String("faults", "", faults.FlagHelp)
 
 		execWorkers  = flag.Int("exec-workers", 0, "pipelined extraction workers per execution (0 = sequential; results are bit-identical at any setting)")
 		extractCache = flag.Int64("extract-cache", 0, "shared extraction cache capacity in bytes (0 = disabled)")

@@ -54,7 +54,7 @@ func main() {
 		execWorkers  = flag.Int("exec-workers", 0, "pipelined extraction workers per execution (0 = sequential; results are bit-identical at any setting)")
 		extractCache = flag.Int64("extract-cache", 0, "shared extraction cache capacity in bytes (0 = disabled)")
 
-		faultsFlag = flag.String("faults", "", "fault-injection profile, e.g. rate=0.05,seed=9,burst=2 (empty = none)")
+		faultsFlag = flag.String("faults", "", joinopt.FaultProfileHelp)
 		retries    = flag.Int("retries", 0, "max retries per failed substrate call (0 = default 3, -1 = disabled)")
 		failBudget = flag.Int("failure-budget", 0, "abort once this many documents per side are lost (0 = unlimited)")
 		deadline   = flag.Float64("deadline", 0, "cost-model time deadline per execution (0 = none)")

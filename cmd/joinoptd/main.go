@@ -1,0 +1,106 @@
+// Command joinoptd serves the join-optimization stack as a multi-tenant
+// HTTP service: clients POST jobs (adaptive, pinned-plan, or optimize-only),
+// poll or stream their execution traces, and scrape Prometheus metrics.
+//
+//	joinoptd -listen :8080 -service-workers 4
+//	curl -s localhost:8080/v1/jobs -d '{"tau_g":16,"tau_b":160,"workload":{"num_docs":1000}}'
+//	curl -s localhost:8080/v1/jobs/j000001/events   # NDJSON trace stream
+//	curl -s localhost:8080/v1/jobs/j000001/result
+//	curl -s localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the daemon stops admitting (readyz turns 503), lets
+// in-flight jobs finish until -drain-grace expires, then cancels the rest —
+// adaptive jobs checkpoint, keeping partial results resumable.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"joinopt/internal/obs"
+	"joinopt/internal/service"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":8080", "HTTP listen address")
+		workers     = flag.Int("service-workers", 2, "concurrent job executions")
+		queueDepth  = flag.Int("queue-depth", 64, "queued jobs before submissions get 429")
+		tenantQuota = flag.Int("tenant-quota", 8, "queued+running jobs per tenant before 429 (-1 = unlimited)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 rejections")
+		cacheBytes  = flag.Int64("extract-cache", 32<<20, "default shared extraction cache per workload, bytes")
+		maxJobs     = flag.Int("max-jobs", 1024, "finished jobs retained for status/result queries")
+		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "shutdown grace before in-flight jobs are canceled")
+		traceFile   = flag.String("trace", "", "append every job's trace events to this NDJSON file")
+	)
+	flag.Parse()
+	if err := run(*listen, *traceFile, *drainGrace, service.Options{
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		TenantQuota:       *tenantQuota,
+		RetryAfter:        *retryAfter,
+		DefaultCacheBytes: *cacheBytes,
+		MaxJobs:           *maxJobs,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "joinoptd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, traceFile string, drainGrace time.Duration, opts service.Options) error {
+	logger := log.New(os.Stderr, "joinoptd: ", log.LstdFlags)
+
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts.TraceSink = obs.NewNDJSON(f)
+	}
+
+	svc := service.New(opts)
+	srv := &http.Server{Handler: svc.Handler()}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	// The smoke test and loadgen parse this line to find a :0-assigned port.
+	logger.Printf("listening on %s", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("got %s, draining (grace %s)", sig, drainGrace)
+	case err := <-errCh:
+		return err
+	}
+
+	// Drain: stop admitting, let in-flight jobs finish, cancel stragglers
+	// (adaptive runs checkpoint), then close the listener.
+	dctx, cancel := context.WithTimeout(context.Background(), drainGrace)
+	defer cancel()
+	svc.Drain(dctx)
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-errCh // Serve has returned ErrServerClosed
+	logger.Printf("drained cleanly")
+	return nil
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the daemon's end-to-end smoke test (also wired up as
+// `make serve-smoke`): build the real binary, boot it on a random port,
+// drive one adaptive job through submission, event streaming, result and
+// metrics, then SIGTERM it and require a clean drain.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "joinoptd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building daemon: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-service-workers", "2", "-drain-grace", "30s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs "listening on <addr>" once the socket is bound; the
+	// rest of its stderr is collected for the drain assertion.
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never reported its address (%v)", sc.Err())
+	}
+	logCh := make(chan string, 1)
+	go func() {
+		var rest strings.Builder
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteByte('\n')
+		}
+		logCh <- rest.String()
+	}()
+	base := "http://" + addr
+
+	body, _ := json.Marshal(map[string]any{
+		"tau_g":    5,
+		"tau_b":    120,
+		"workload": map[string]any{"num_docs": 500, "seed": 21},
+	})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %s: %s", resp.Status, b)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The event stream follows the run live and ends when the job does.
+	ev, err := http.Get(base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := io.ReadAll(ev.Body)
+	ev.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(events, []byte("\n")); n < 3 {
+		t.Fatalf("event stream carried only %d lines:\n%s", n, events)
+	}
+	for _, line := range bytes.Split(bytes.TrimSpace(events), []byte("\n")) {
+		var e map[string]any
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("event line %q is not JSON: %v", line, err)
+		}
+	}
+
+	res, err := http.Get(base + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		State  string `json:"state"`
+		Result struct {
+			Good  int      `json:"good"`
+			Plans []string `json:"plans"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || out.State != "done" {
+		t.Fatalf("result: %s, state %q", res.Status, out.State)
+	}
+	// Adaptive runs are best-effort against τg, so assert plausibility, not
+	// the requirement itself.
+	if out.Result.Good <= 0 || len(out.Result.Plans) == 0 {
+		t.Fatalf("implausible result: %+v", out.Result)
+	}
+
+	metrics, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(metrics.Body)
+	metrics.Body.Close()
+	for _, want := range []string{
+		`joinoptd_jobs_submitted_total{tenant="default"} 1`,
+		`joinoptd_jobs_completed_total{state="done"} 1`,
+		"joinoptd_workload_builds_total 1",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if log := <-logCh; !strings.Contains(log, "drained cleanly") {
+		t.Errorf("daemon log missing drain confirmation:\n%s", log)
+	}
+	fmt.Fprintln(os.Stderr, "serve-smoke: ok,", len(events), "event bytes")
+}

@@ -1,0 +1,171 @@
+// Command loadgen drives a running joinoptd closed-loop: each of -clients
+// concurrent clients submits a job, follows it to completion, and submits
+// the next. 429 rejections are honoured by sleeping out the Retry-After
+// hint — together with the daemon's admission control this forms the
+// closed-loop backpressure cycle.
+//
+//	joinoptd -listen :8080 &
+//	loadgen -addr localhost:8080 -clients 8 -jobs 64 -tenants 2
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"joinopt/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:8080", "joinoptd address")
+		clients = flag.Int("clients", 4, "concurrent closed-loop clients")
+		jobs    = flag.Int("jobs", 32, "total jobs to submit")
+		tenants = flag.Int("tenants", 1, "spread jobs round-robin over this many tenants")
+		docs    = flag.Int("docs", 500, "workload documents per database")
+		seed    = flag.Int64("seed", 1, "workload generation seed")
+		tauG    = flag.Int("taug", 16, "per-job requirement τg")
+		tauB    = flag.Int("taub", 160, "per-job requirement τb")
+		mode    = flag.String("mode", "adaptive", "job mode: adaptive|optimize")
+		timeout = flag.Duration("timeout", 5*time.Minute, "per-job completion timeout")
+	)
+	flag.Parse()
+
+	base := "http://" + *addr
+	var (
+		next      atomic.Int64
+		done      atomic.Int64
+		failed    atomic.Int64
+		rejected  atomic.Int64
+		good, bad atomic.Int64
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := next.Add(1)
+				if n > int64(*jobs) {
+					return
+				}
+				req := service.JobRequest{
+					Tenant: fmt.Sprintf("tenant-%d", int(n)%*tenants),
+					Mode:   *mode,
+					TauG:   *tauG,
+					TauB:   *tauB,
+					Workload: service.WorkloadSpec{
+						NumDocs: *docs,
+						Seed:    *seed,
+					},
+				}
+				res, err := runJob(base, req, *timeout, &rejected)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "loadgen: job %d: %v\n", n, err)
+					failed.Add(1)
+					continue
+				}
+				done.Add(1)
+				good.Add(int64(res.Good))
+				bad.Add(int64(res.Bad))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("loadgen: %d done, %d failed, %d retried-after-429, %.1f jobs/s, %d good / %d bad tuples total\n",
+		done.Load(), failed.Load(), rejected.Load(),
+		float64(done.Load())/elapsed.Seconds(), good.Load(), bad.Load())
+	if failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runJob submits one job, retrying 429s per the Retry-After hint, then polls
+// it to completion.
+func runJob(base string, req service.JobRequest, timeout time.Duration, rejected *atomic.Int64) (*service.JobResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+
+	var id string
+	for {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			wait := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			rejected.Add(1)
+			if time.Now().Add(wait).After(deadline) {
+				return nil, fmt.Errorf("timed out waiting for admission")
+			}
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return nil, fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(b))
+		}
+		var st service.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		id = st.ID
+		break
+	}
+
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return nil, fmt.Errorf("result: %s: %s", resp.Status, bytes.TrimSpace(b))
+		}
+		var out struct {
+			State  string             `json:"state"`
+			Error  string             `json:"error"`
+			Result *service.JobResult `json:"result"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if out.State != service.StateDone {
+			return nil, fmt.Errorf("job %s %s: %s", id, out.State, out.Error)
+		}
+		return out.Result, nil
+	}
+	return nil, fmt.Errorf("job %s: timed out", id)
+}

@@ -1,0 +1,87 @@
+package joinopt_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"joinopt"
+)
+
+// TestConcurrentRunsOnOneTask pins the Task concurrency contract: one Task
+// hammered by concurrent Run calls — adaptive and fixed-plan, with per-run
+// traces, metrics, fault profiles, pipelined workers, and the shared
+// extraction cache — must race-cleanly produce, per configuration, the same
+// output composition as a sequential run. Run it under -race.
+func TestConcurrentRunsOnOneTask(t *testing.T) {
+	tk, err := joinopt.NewHQJoinEX(joinopt.WorkloadParams{NumDocs: 500, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.ExtractCacheBytes = 4 << 20
+	req := joinopt.Requirement{TauG: 5, TauB: 120}
+	plan := joinopt.Plan{
+		Algorithm: joinopt.IndependentJoin,
+		Theta:     [2]float64{0.4, 0.4},
+		X:         [2]joinopt.Strategy{joinopt.Scan, joinopt.Scan},
+	}
+
+	// Sequential references for each configuration the goroutines replay.
+	refAdaptive, err := tk.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFixed, err := tk.Run(context.Background(), req, joinopt.WithPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	outs := make([]*joinopt.Outcome, goroutines)
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			opts := []joinopt.RunOption{
+				joinopt.WithTracer(joinopt.NewTrace(joinopt.NewRingSink(256))),
+				joinopt.WithMetrics(joinopt.NewMetrics()),
+			}
+			switch i % 3 {
+			case 0: // adaptive
+			case 1:
+				opts = append(opts, joinopt.WithPlan(plan), joinopt.WithExecWorkers(2))
+			case 2:
+				opts = append(opts, joinopt.WithPlan(plan), joinopt.WithFaults(nil))
+			}
+			res, err := tk.Run(context.Background(), req, opts...)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = res.Outcome
+			// Concurrent readers of the shared cache accounting are part of
+			// the contract.
+			_ = tk.ExtractionCacheStats()
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		ref := refAdaptive.Outcome
+		if i%3 != 0 {
+			ref = refFixed.Outcome
+		}
+		if outs[i].GoodTuples != ref.GoodTuples || outs[i].BadTuples != ref.BadTuples {
+			t.Errorf("goroutine %d: output (good=%d bad=%d) diverged from sequential (good=%d bad=%d)",
+				i, outs[i].GoodTuples, outs[i].BadTuples, ref.GoodTuples, ref.BadTuples)
+		}
+	}
+	if st := tk.ExtractionCacheStats(); st.Hits == 0 {
+		t.Error("shared extraction cache saw no hits across concurrent runs")
+	}
+}

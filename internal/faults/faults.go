@@ -85,6 +85,17 @@ func (p *Profile) Zero() bool {
 	return true
 }
 
+// parseKeys lists every key Parse accepts, in documentation order. It feeds
+// both the unknown-key error and FlagHelp so the two can never drift apart.
+var parseKeys = []string{"seed", "rate", "fetch", "next", "classify", "trunc", "stall", "cost", "burst", "permanent"}
+
+// FlagHelp is the canonical help text for a -faults flag wired to Parse.
+// Every CLI exposing the knob uses it verbatim, so the accepted vocabulary
+// is documented identically everywhere.
+var FlagHelp = "fault-injection profile: comma-separated key=value pairs with keys " +
+	strings.Join(parseKeys, ", ") +
+	", e.g. rate=0.05,seed=9,burst=2 (empty = none)"
+
 // Parse builds a profile from a compact flag string of comma-separated
 // key=value pairs:
 //
@@ -107,7 +118,7 @@ func Parse(s string) (*Profile, error) {
 	for _, kv := range strings.Split(s, ",") {
 		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
 		if len(parts) != 2 {
-			return nil, fmt.Errorf("faults: malformed profile entry %q (want key=value)", kv)
+			return nil, fmt.Errorf("faults: malformed profile entry %q (want key=value, keys: %s)", strings.TrimSpace(kv), strings.Join(parseKeys, ", "))
 		}
 		key, val := parts[0], parts[1]
 		var err error
@@ -133,10 +144,10 @@ func Parse(s string) (*Profile, error) {
 		case "permanent":
 			permanent, err = strconv.ParseBool(val)
 		default:
-			return nil, fmt.Errorf("faults: unknown profile key %q", key)
+			return nil, fmt.Errorf("faults: unknown profile key %q (accepted keys: %s)", key, strings.Join(parseKeys, ", "))
 		}
 		if err != nil {
-			return nil, fmt.Errorf("faults: profile value %q for %q: %v", val, key, err)
+			return nil, fmt.Errorf("faults: bad value %q for profile key %q: %v", val, key, err)
 		}
 	}
 	pick := func(override float64) float64 {

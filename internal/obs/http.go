@@ -1,0 +1,21 @@
+package obs
+
+import "net/http"
+
+// ContentTypePrometheus is the content type of the text exposition format
+// served by Handler.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry in the Prometheus text exposition format —
+// the /metrics endpoint of the joinoptd daemon. A nil registry serves an
+// empty (but valid) exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentTypePrometheus)
+		if err := r.WritePrometheus(w); err != nil {
+			// The snapshot is in memory; a write error means the client hung
+			// up mid-scrape. Nothing to do but stop writing.
+			return
+		}
+	})
+}

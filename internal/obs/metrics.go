@@ -220,6 +220,65 @@ func (r *Registry) String() string {
 	return string(b)
 }
 
+// Series renders a labelled series name from key/value pairs: the labels
+// are sorted by key, so equal label sets always produce the same series
+// string regardless of argument order — the invariant the get-or-create
+// accessors key on. Label values are escaped per the Prometheus text
+// format. Series("jobs_total", "tenant", "t1", "state", "done") yields
+// `jobs_total{state="done",tenant="t1"}`.
+func Series(family string, kv ...string) string {
+	if len(kv) == 0 {
+		return family
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Forget drops every series of the given exact names from the registry.
+// Callers that publish high-cardinality labelled series (e.g. the service
+// layer's per-job gauges) use it to bound the exposition as old entities
+// are evicted; handles already returned for a forgotten series keep working
+// but are no longer exported.
+func (r *Registry) Forget(series ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range series {
+		delete(r.counters, s)
+		delete(r.gauges, s)
+		delete(r.hists, s)
+	}
+}
+
 // familyOf strips the label part of a series name.
 func familyOf(series string) string {
 	if i := strings.IndexByte(series, '{'); i >= 0 {

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPromHistogramConformance pins the histogram exposition to the
+// Prometheus text-format contract: cumulative buckets, a le="+Inf" bucket
+// equal to the total count, and _sum/_count lines — with labels preserved
+// on every derived series.
+func TestPromHistogramConformance(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`lat{job="j1"}`, []float64{0.1, 1, 10})
+	for _, x := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(x)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := []string{
+		`# TYPE lat histogram`,
+		`lat_bucket{job="j1",le="0.1"} 1`,
+		`lat_bucket{job="j1",le="1"} 3`,
+		`lat_bucket{job="j1",le="10"} 4`,
+		`lat_bucket{job="j1",le="+Inf"} 5`,
+		`lat_sum{job="j1"} 56.05`,
+		`lat_count{job="j1"} 5`,
+	}
+	for i := range want[:len(want)-1] {
+		if strings.Index(got, want[i]) > strings.Index(got, want[i+1]) {
+			t.Errorf("lines out of order: %q should precede %q in:\n%s", want[i], want[i+1], got)
+		}
+	}
+	for _, w := range want {
+		if !strings.Contains(got, w+"\n") && !strings.HasSuffix(got, w) {
+			t.Errorf("missing exposition line %q in:\n%s", w, got)
+		}
+	}
+}
+
+// TestPromHistogramUnlabelled covers the label-free derived-series shape.
+func TestPromHistogramUnlabelled(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat", []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{`lat_bucket{le="1"} 1`, `lat_bucket{le="+Inf"} 1`, "lat_sum 0.5", "lat_count 1"} {
+		if !strings.Contains(b.String(), w+"\n") {
+			t.Errorf("missing %q in:\n%s", w, b.String())
+		}
+	}
+}
+
+// TestPromDeterministicOrdering pins that families and series within a
+// family are emitted in sorted order, so two encodings of the same registry
+// are byte-identical.
+func TestPromDeterministicOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Series("zz_total", "side", "2")).Add(2)
+	r.Counter(Series("zz_total", "side", "1")).Add(1)
+	r.Gauge("aa_depth").Set(3)
+	r.Histogram("mm_lat", []float64{1}).Observe(2)
+
+	var first strings.Builder
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again strings.Builder
+		if err := r.WritePrometheus(&again); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("encoding not deterministic:\n%s\nvs\n%s", first.String(), again.String())
+		}
+	}
+	got := first.String()
+	aa := strings.Index(got, "aa_depth")
+	mm := strings.Index(got, "mm_lat")
+	z1 := strings.Index(got, `zz_total{side="1"}`)
+	z2 := strings.Index(got, `zz_total{side="2"}`)
+	if !(aa < mm && mm < z1 && z1 < z2) {
+		t.Fatalf("families/series not sorted (aa=%d mm=%d z1=%d z2=%d):\n%s", aa, mm, z1, z2, got)
+	}
+}
+
+// TestSeries pins the labelled-series renderer: sorted keys (argument order
+// is irrelevant) and text-format escaping of label values.
+func TestSeries(t *testing.T) {
+	if got := Series("jobs_total"); got != "jobs_total" {
+		t.Errorf("no labels: got %q", got)
+	}
+	a := Series("jobs_total", "tenant", "t1", "state", "done")
+	b := Series("jobs_total", "state", "done", "tenant", "t1")
+	if a != b || a != `jobs_total{state="done",tenant="t1"}` {
+		t.Errorf("order-insensitivity broken: %q vs %q", a, b)
+	}
+	if got := Series("m", "k", "a\\b\"c\nd"); got != `m{k="a\\b\"c\nd"}` {
+		t.Errorf("escaping: got %q", got)
+	}
+}
+
+// TestForget pins that forgotten series leave the exposition while other
+// series of the same family stay, and that live handles keep working.
+func TestForget(t *testing.T) {
+	r := NewRegistry()
+	keep := r.Counter(Series("jobs_total", "job", "keep"))
+	drop := r.Counter(Series("jobs_total", "job", "drop"))
+	keep.Inc()
+	drop.Inc()
+	r.Forget(Series("jobs_total", "job", "drop"))
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `job="drop"`) {
+		t.Errorf("forgotten series still exported:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), `jobs_total{job="keep"} 1`) {
+		t.Errorf("surviving series missing:\n%s", b.String())
+	}
+	drop.Inc() // must not panic; handle outlives the registry entry
+	if drop.Value() != 2 {
+		t.Errorf("forgotten handle stopped counting: %d", drop.Value())
+	}
+}
+
+// TestHandler pins the /metrics HTTP exposition: content type and body.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("up", "1 when serving")
+	r.Gauge("up").Set(1)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypePrometheus {
+		t.Errorf("content type %q, want %q", ct, ContentTypePrometheus)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"# HELP up 1 when serving\n", "# TYPE up gauge\n", "up 1\n"} {
+		if !strings.Contains(string(body), w) {
+			t.Errorf("missing %q in:\n%s", w, body)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"joinopt/internal/obs"
+)
+
+// Handler builds the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a job (202; 429 over capacity/quota)
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result finished result (202 while pending)
+//	GET    /v1/jobs/{id}/events stream the execution trace as NDJSON
+//	DELETE /v1/jobs/{id}        cancel (running adaptive jobs checkpoint)
+//	GET    /metrics             Prometheus text exposition
+//	GET    /healthz             liveness
+//	GET    /readyz              readiness (503 while draining)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.Handle("GET /metrics", obs.Handler(s.opts.Metrics))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
+	})
+	return mux
+}
+
+// apiError is every non-2xx JSON body.
+type apiError struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error, reason string) {
+	writeJSON(w, status, apiError{Error: err.Error(), Reason: reason})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err, "bad_request")
+		return
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		switch err {
+		case ErrQueueFull, ErrTenantQuota:
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter/time.Second)))
+			reason := "queue_full"
+			if err == ErrTenantQuota {
+				reason = "tenant_quota"
+			}
+			writeErr(w, http.StatusTooManyRequests, err, reason)
+		case ErrDraining:
+			writeErr(w, http.StatusServiceUnavailable, err, "draining")
+		default:
+			writeErr(w, http.StatusBadRequest, err, "bad_request")
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err, "not_found")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err, "not_found")
+		return
+	}
+	res, state, msg := j.Result()
+	switch state {
+	case StateQueued, StateRunning:
+		writeJSON(w, http.StatusAccepted, j.Status())
+	default:
+		// Failed and canceled jobs may still carry a partial result (and a
+		// resumable checkpoint); ship the status alongside it.
+		writeJSON(w, http.StatusOK, struct {
+			ID     string     `json:"id"`
+			State  string     `json:"state"`
+			Error  string     `json:"error,omitempty"`
+			Result *JobResult `json:"result,omitempty"`
+		}{ID: j.ID, State: state, Error: msg, Result: res})
+	}
+}
+
+// handleEvents streams the job's execution trace as NDJSON — one obs event
+// per line, byte-identical to what an obs.NDJSON sink would write. The
+// stream replays from the start, follows live appends, and ends when the
+// job finishes (or the client disconnects).
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err, "not_found")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	i := 0
+	for {
+		evs, closed, wake := j.events.from(i)
+		for _, e := range evs {
+			b, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if _, err := w.Write(append(b, '\n')); err != nil {
+				return
+			}
+		}
+		i += len(evs)
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err, "not_found")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}

@@ -1,0 +1,305 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"joinopt"
+	"joinopt/internal/obs"
+)
+
+// WorkloadSpec identifies a workload in the registry. It is the registry
+// key: two requests with equal specs share one Task — and with it the
+// memoized optimizer inputs and the shared extraction cache.
+type WorkloadSpec struct {
+	// Relations names the two extraction tasks to join ("HQ", "EX", "MG").
+	// Defaults to ["HQ", "EX"].
+	Relations [2]string `json:"relations"`
+	NumDocs   int       `json:"num_docs,omitempty"`
+	NumDocs2  int       `json:"num_docs2,omitempty"`
+	Seed      int64     `json:"seed,omitempty"`
+	TopK      int       `json:"top_k,omitempty"`
+	// CacheBytes sizes the workload's shared extraction cache (0 uses the
+	// service default; negative disables caching for this workload).
+	CacheBytes int64 `json:"cache_bytes,omitempty"`
+}
+
+// PlanRequest pins an execute-mode job to one plan, mirroring the plan-mode
+// flags of cmd/joinopt.
+type PlanRequest struct {
+	Algorithm string     `json:"algorithm"` // IDJN | OIJN | ZGJN
+	Theta     [2]float64 `json:"theta,omitempty"`
+	X         [2]string  `json:"x,omitempty"` // SC | FS | AQG per side
+	OuterIdx  int        `json:"outer_idx,omitempty"`
+}
+
+// plan converts the request into a facade Plan, applying the same
+// strategy normalization the CLI applies (query-retrieved sides carry no
+// strategy).
+func (p *PlanRequest) plan() (joinopt.Plan, error) {
+	plan := joinopt.Plan{
+		Algorithm: joinopt.Algorithm(p.Algorithm),
+		Theta:     p.Theta,
+		X:         [2]joinopt.Strategy{joinopt.Strategy(p.X[0]), joinopt.Strategy(p.X[1])},
+		OuterIdx:  p.OuterIdx,
+	}
+	switch plan.Algorithm {
+	case joinopt.IndependentJoin:
+	case joinopt.OuterInnerJoin:
+		if p.OuterIdx != 0 && p.OuterIdx != 1 {
+			return plan, fmt.Errorf("outer_idx must be 0 or 1, got %d", p.OuterIdx)
+		}
+		plan.X[1-p.OuterIdx] = joinopt.QueryRetrieve
+	case joinopt.ZigZagJoin:
+		plan.X = [2]joinopt.Strategy{joinopt.QueryRetrieve, joinopt.QueryRetrieve}
+	default:
+		return plan, fmt.Errorf("unknown algorithm %q (want IDJN, OIJN, or ZGJN)", p.Algorithm)
+	}
+	for i, x := range plan.X {
+		switch x {
+		case joinopt.Scan, joinopt.FilteredScan, joinopt.AutoQueryGen, joinopt.QueryRetrieve:
+		default:
+			return plan, fmt.Errorf("unknown retrieval strategy %q for side %d (want SC, FS, or AQG)", x, i+1)
+		}
+		if plan.Theta[i] == 0 {
+			plan.Theta[i] = 0.4
+		}
+	}
+	return plan, nil
+}
+
+// Job modes.
+const (
+	ModeAdaptive = "adaptive" // the paper's §VI protocol (default)
+	ModeExecute  = "execute"  // run one pinned plan
+	ModeOptimize = "optimize" // perfect-knowledge plan choice, no execution
+)
+
+// JobRequest is the POST /v1/jobs payload.
+type JobRequest struct {
+	// Tenant attributes the job for quota accounting and metrics ("default"
+	// when empty).
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders the queue: higher runs first; equal priorities run in
+	// submission order.
+	Priority int `json:"priority,omitempty"`
+
+	Workload WorkloadSpec `json:"workload"`
+
+	Mode string `json:"mode,omitempty"` // adaptive (default) | execute | optimize
+	TauG int    `json:"tau_g"`
+	TauB int    `json:"tau_b"`
+
+	// Plan is required in execute mode and ignored otherwise.
+	Plan *PlanRequest `json:"plan,omitempty"`
+
+	// ResumeFrom continues a canceled adaptive job from its checkpoint. The
+	// referenced job must belong to the same workload and have a resumable
+	// checkpoint.
+	ResumeFrom string `json:"resume_from,omitempty"`
+
+	// Execution knobs, mirroring the CLI flags.
+	Faults        string  `json:"faults,omitempty"` // fault-profile string, see joinopt.FaultProfileHelp
+	Retries       int     `json:"retries,omitempty"`
+	FailureBudget int     `json:"failure_budget,omitempty"`
+	Deadline      float64 `json:"deadline,omitempty"`
+	Workers       int     `json:"workers,omitempty"`      // optimizer plan-evaluation workers
+	ExecWorkers   int     `json:"exec_workers,omitempty"` // pipelined extraction workers
+
+	// Tuples caps how many labelled join tuples the result carries (0 =
+	// none; -1 = all).
+	Tuples int `json:"tuples,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// JobStatus is the GET /v1/jobs/{id} payload.
+type JobStatus struct {
+	ID        string     `json:"id"`
+	Tenant    string     `json:"tenant"`
+	Mode      string     `json:"mode"`
+	State     string     `json:"state"`
+	Priority  int        `json:"priority,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Resumable bool       `json:"resumable,omitempty"`
+	Events    int        `json:"events"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+// JobTuple is one labelled join tuple in a result payload.
+type JobTuple struct {
+	A    string `json:"a"`
+	B    string `json:"b"`
+	C    string `json:"c"`
+	Good bool   `json:"good"`
+}
+
+// PlanEvalJSON is the optimizer's assessment of a plan (optimize mode).
+type PlanEvalJSON struct {
+	Plan          string  `json:"plan"`
+	EstimatedGood float64 `json:"estimated_good"`
+	EstimatedBad  float64 `json:"estimated_bad"`
+	EstimatedTime float64 `json:"estimated_time"`
+}
+
+// JobResult is the GET /v1/jobs/{id}/result payload of a finished job.
+type JobResult struct {
+	Mode  string   `json:"mode"`
+	Plans []string `json:"plans,omitempty"`
+
+	Good          int     `json:"good"`
+	Bad           int     `json:"bad"`
+	Time          float64 `json:"time"`
+	TotalTime     float64 `json:"total_time"`
+	DocsProcessed [2]int  `json:"docs_processed"`
+	DocsRetrieved [2]int  `json:"docs_retrieved"`
+	Queries       [2]int  `json:"queries"`
+	DocsFailed    [2]int  `json:"docs_failed"`
+	RetriesSpent  [2]int  `json:"retries_spent"`
+	Degraded      bool    `json:"degraded,omitempty"`
+	DeadlineHit   bool    `json:"deadline_hit,omitempty"`
+
+	CheckpointErrs []string `json:"checkpoint_errs,omitempty"`
+	Resumable      bool     `json:"resumable,omitempty"`
+
+	Evaluation *PlanEvalJSON `json:"evaluation,omitempty"`
+	Tuples     []JobTuple    `json:"tuples,omitempty"`
+}
+
+// Job is one unit of scheduled work. All mutable fields are guarded by mu;
+// the identity fields and the event log are write-once at construction.
+type Job struct {
+	ID       string
+	Tenant   string
+	Priority int
+	seq      uint64
+
+	req  JobRequest
+	plan *joinopt.Plan // parsed, execute mode only
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	events *eventLog
+
+	mu         sync.Mutex
+	state      string
+	err        string
+	result     *JobResult
+	checkpoint *joinopt.AdaptiveCheckpoint
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+}
+
+// Status snapshots the job for the status endpoint.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		Tenant:    j.Tenant,
+		Mode:      j.req.Mode,
+		State:     j.state,
+		Priority:  j.Priority,
+		Error:     j.err,
+		Resumable: j.checkpoint != nil,
+		Events:    j.events.Len(),
+		Submitted: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// Result returns the finished job's result (nil while pending), the job
+// state, and the failure message when failed.
+func (j *Job) Result() (*JobResult, string, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state, j.err
+}
+
+// Checkpoint returns the resumable checkpoint captured when the job was
+// canceled mid-adaptive-run (nil otherwise).
+func (j *Job) Checkpoint() *joinopt.AdaptiveCheckpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.checkpoint
+}
+
+// terminal reports whether the job has finished (done, failed, canceled).
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+}
+
+// eventLog is a job's append-only trace sink and broadcast hub: the run
+// emits obs events into it, and any number of /events subscribers replay
+// the log and then follow live appends until the log closes. Emitted
+// events are immutable once appended, so subscribers read released
+// subslices lock-free.
+type eventLog struct {
+	mu     sync.Mutex
+	events []obs.Event
+	closed bool
+	wake   chan struct{}
+}
+
+func newEventLog() *eventLog { return &eventLog{wake: make(chan struct{})} }
+
+// Emit implements obs.Tracer.
+func (l *eventLog) Emit(e obs.Event) {
+	l.mu.Lock()
+	if !l.closed {
+		l.events = append(l.events, e)
+		close(l.wake)
+		l.wake = make(chan struct{})
+	}
+	l.mu.Unlock()
+}
+
+// Close marks the log complete and wakes every follower. Idempotent.
+func (l *eventLog) Close() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.wake)
+	}
+	l.mu.Unlock()
+}
+
+// Len returns the number of events appended so far.
+func (l *eventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// from returns the events appended at or after index i, whether the log is
+// closed, and a channel that closes on the next append or close.
+func (l *eventLog) from(i int) (evs []obs.Event, closed bool, wake <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i > len(l.events) {
+		i = len(l.events)
+	}
+	return l.events[i:], l.closed, l.wake
+}

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"joinopt"
+	"joinopt/internal/obs"
+)
+
+// Registry constructs Tasks once per workload spec and shares them across
+// every request: the expensive generation and training work, the memoized
+// optimizer inputs, and the shared extraction cache are all amortized over
+// the jobs that name the same workload. Task construction runs outside the
+// registry lock (per-entry once), so a slow build never blocks lookups of
+// other workloads.
+type Registry struct {
+	defaultCacheBytes int64
+
+	mu      sync.Mutex
+	entries map[WorkloadSpec]*regEntry
+
+	builds   *obs.Counter
+	reuses   *obs.Counter
+	resident *obs.Gauge
+}
+
+type regEntry struct {
+	once sync.Once
+	task *joinopt.Task
+	err  error
+}
+
+// Registry metric families.
+const (
+	MetricWorkloadBuilds   = "joinoptd_workload_builds_total"
+	MetricWorkloadReuses   = "joinoptd_workload_reuses_total"
+	MetricWorkloadResident = "joinoptd_workloads_resident"
+)
+
+// NewRegistry builds a workload registry. defaultCacheBytes sizes the
+// shared extraction cache of workloads whose spec leaves CacheBytes zero.
+// Metrics may be nil.
+func NewRegistry(defaultCacheBytes int64, m *obs.Registry) *Registry {
+	m.Describe(MetricWorkloadBuilds, "workload tasks constructed by the registry")
+	m.Describe(MetricWorkloadReuses, "jobs served by an already-constructed workload task")
+	m.Describe(MetricWorkloadResident, "distinct workload tasks resident in the registry")
+	return &Registry{
+		defaultCacheBytes: defaultCacheBytes,
+		entries:           map[WorkloadSpec]*regEntry{},
+		builds:            m.Counter(MetricWorkloadBuilds),
+		reuses:            m.Counter(MetricWorkloadReuses),
+		resident:          m.Gauge(MetricWorkloadResident),
+	}
+}
+
+// normalize applies spec defaults so equivalent requests share one entry.
+func (r *Registry) normalize(spec WorkloadSpec) WorkloadSpec {
+	if spec.Relations == [2]string{} {
+		spec.Relations = [2]string{"HQ", "EX"}
+	}
+	if spec.NumDocs == 0 {
+		spec.NumDocs = 1000
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if spec.CacheBytes == 0 {
+		spec.CacheBytes = r.defaultCacheBytes
+	}
+	return spec
+}
+
+// Task resolves the shared Task for spec, constructing it on first use.
+func (r *Registry) Task(spec WorkloadSpec) (*joinopt.Task, error) {
+	spec = r.normalize(spec)
+	r.mu.Lock()
+	e, ok := r.entries[spec]
+	if !ok {
+		e = &regEntry{}
+		r.entries[spec] = e
+		r.resident.Set(float64(len(r.entries)))
+	}
+	r.mu.Unlock()
+
+	first := false
+	e.once.Do(func() {
+		first = true
+		r.builds.Inc()
+		e.task, e.err = joinopt.NewTaskPair(joinopt.WorkloadParams{
+			NumDocs:  spec.NumDocs,
+			NumDocs2: spec.NumDocs2,
+			Seed:     spec.Seed,
+			TopK:     spec.TopK,
+		}, spec.Relations[0], spec.Relations[1])
+		if e.err != nil {
+			e.err = fmt.Errorf("service: building workload %v: %w", spec.Relations, e.err)
+			return
+		}
+		if spec.CacheBytes > 0 {
+			e.task.ExtractCacheBytes = spec.CacheBytes
+		}
+	})
+	if !first && e.err == nil {
+		r.reuses.Inc()
+	}
+	return e.task, e.err
+}
+
+// Size returns the number of resident workload entries.
+func (r *Registry) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

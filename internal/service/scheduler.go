@@ -1,0 +1,202 @@
+package service
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// Admission errors, mapped to HTTP statuses by the API layer.
+var (
+	// ErrQueueFull rejects a submission when the queue is at depth → 429.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrTenantQuota rejects a submission over the tenant's concurrency
+	// quota (queued + running jobs) → 429.
+	ErrTenantQuota = errors.New("service: tenant concurrency quota exceeded")
+	// ErrDraining rejects every submission once a drain began → 503.
+	ErrDraining = errors.New("service: draining, not admitting jobs")
+)
+
+// jobQueue is a FIFO-with-priority heap: higher Priority pops first, equal
+// priorities pop in submission (seq) order.
+type jobQueue []*Job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].Priority != q[j].Priority {
+		return q[i].Priority > q[j].Priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *jobQueue) Push(x any)   { *q = append(*q, x.(*Job)) }
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
+}
+
+// scheduler is the bounded worker pool behind the service: submissions pass
+// admission control into the priority queue, workers drain it, and a drain
+// stops admission and (optionally, after a grace period) cancels what is
+// still in flight.
+type scheduler struct {
+	run func(*Job) // executes one job; set by the service
+
+	maxQueue    int
+	tenantQuota int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    jobQueue
+	active   map[string]int // queued + running per tenant
+	running  int
+	draining bool
+	idleCh   chan struct{} // closed when draining, queue empty, none running
+	idleOnce sync.Once
+	wg       sync.WaitGroup
+	inFlight map[*Job]struct{}
+}
+
+func newScheduler(workers, maxQueue, tenantQuota int, run func(*Job)) *scheduler {
+	s := &scheduler{
+		run:         run,
+		maxQueue:    maxQueue,
+		tenantQuota: tenantQuota,
+		active:      map[string]int{},
+		idleCh:      make(chan struct{}),
+		inFlight:    map[*Job]struct{}{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// submit admits the job into the queue or rejects it.
+func (s *scheduler) submit(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.draining:
+		return ErrDraining
+	case len(s.queue) >= s.maxQueue:
+		return ErrQueueFull
+	case s.tenantQuota > 0 && s.active[j.Tenant] >= s.tenantQuota:
+		return ErrTenantQuota
+	}
+	s.active[j.Tenant]++
+	heap.Push(&s.queue, j)
+	s.cond.Signal()
+	return nil
+}
+
+// queueDepth returns the current number of queued (not yet running) jobs.
+func (s *scheduler) queueDepth() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), s.running
+}
+
+// dequeue removes a still-queued job (cancellation before start). It
+// reports whether the job was found in the queue.
+func (s *scheduler) dequeue(j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, q := range s.queue {
+		if q == j {
+			heap.Remove(&s.queue, i)
+			s.release(j)
+			return true
+		}
+	}
+	return false
+}
+
+// release retires a job from tenant accounting. Callers hold mu.
+func (s *scheduler) release(j *Job) {
+	if s.active[j.Tenant]--; s.active[j.Tenant] <= 0 {
+		delete(s.active, j.Tenant)
+	}
+	s.checkIdle()
+}
+
+// checkIdle closes the idle channel once a drain has fully quiesced.
+// Callers hold mu.
+func (s *scheduler) checkIdle() {
+	if s.draining && len(s.queue) == 0 && s.running == 0 {
+		s.idleOnce.Do(func() { close(s.idleCh) })
+	}
+}
+
+// worker executes queued jobs until a drain empties the queue.
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.checkIdle()
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*Job)
+		s.running++
+		s.inFlight[j] = struct{}{}
+		s.mu.Unlock()
+
+		s.run(j)
+
+		s.mu.Lock()
+		s.running--
+		delete(s.inFlight, j)
+		s.release(j)
+		s.mu.Unlock()
+	}
+}
+
+// startDrain stops admission and wakes idle workers so they can exit once
+// the queue empties. Returns the channel that closes when the scheduler is
+// fully quiescent.
+func (s *scheduler) startDrain() <-chan struct{} {
+	s.mu.Lock()
+	s.draining = true
+	s.checkIdle()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return s.idleCh
+}
+
+// cancelInFlight cancels every running job's context (adaptive runs
+// checkpoint and return their partial results) and retires every job still
+// queued, marking it canceled. Used when a drain's grace period expires.
+func (s *scheduler) cancelInFlight(markCanceled func(*Job)) {
+	s.mu.Lock()
+	var queued []*Job
+	for len(s.queue) > 0 {
+		j := heap.Pop(&s.queue).(*Job)
+		s.release(j)
+		queued = append(queued, j)
+	}
+	inflight := make([]*Job, 0, len(s.inFlight))
+	for j := range s.inFlight {
+		inflight = append(inflight, j)
+	}
+	s.mu.Unlock()
+	for _, j := range queued {
+		markCanceled(j)
+	}
+	for _, j := range inflight {
+		j.cancel()
+	}
+}
+
+// wait blocks until every worker has exited (drain must have started).
+func (s *scheduler) wait() { s.wg.Wait() }

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"joinopt/internal/classifier"
 	"joinopt/internal/extract"
@@ -60,19 +61,63 @@ func (w *Workload) NewExecutor(plan optimizer.PlanSpec) (join.Executor, error) {
 	return e, nil
 }
 
+// envStatics is the run-independent part of the optimizer environment:
+// the training-split IE characterization, classifier rates, AQG query
+// compositions, and the casual-hit/mention measurements. Measuring them
+// walks both training corpora, so the memo matters for a service that runs
+// many adaptive jobs over one shared workload; sync.Once also makes the
+// measurement safe under concurrent NewEnv calls.
+type envStatics struct {
+	once       sync.Once
+	err        error
+	rates      [2]*extract.Rates
+	ctp, cfp   [2]float64
+	aqg        [2][]model.QueryParam
+	casualHits [2]float64
+	mentioned  [2]int
+}
+
+// envStatics resolves (measuring once) the shared static measurements.
+// Workloads constructed before the memo existed get a private one lazily.
+func (w *Workload) envStatics() (*envStatics, error) {
+	s := w.statics
+	if s == nil {
+		s = &envStatics{}
+		w.statics = s
+	}
+	s.once.Do(func() {
+		for i := 0; i < 2; i++ {
+			if s.rates[i], s.err = extract.MeasureRates(w.Sys[i], w.Train[i]); s.err != nil {
+				return
+			}
+			if s.ctp[i], s.cfp[i], s.err = classifier.Measure(w.Cls[i], w.Train[i], w.Task[i]); s.err != nil {
+				return
+			}
+			if s.aqg[i], s.err = w.aqgParams(i); s.err != nil {
+				return
+			}
+			s.casualHits[i] = w.CasualHits(i)
+			s.mentioned[i] = w.MentionedDocs(i)
+		}
+	})
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s, nil
+}
+
 // NewEnv assembles the adaptive optimizer's environment over this workload:
 // executor construction, the training-split IE characterization, and the
 // offline-measurable retrieval and join parameters. Database-specific
-// parameters are left to the on-the-fly estimator.
+// parameters are left to the on-the-fly estimator. The static measurements
+// are memoized on the workload (shared with its clones), so repeated and
+// concurrent NewEnv calls pay for them once.
 func (w *Workload) NewEnv(thetas []float64) (*optimizer.Env, error) {
-	var rates [2]*extract.Rates
-	for i := 0; i < 2; i++ {
-		r, err := extract.MeasureRates(w.Sys[i], w.Train[i])
-		if err != nil {
-			return nil, err
-		}
-		rates[i] = r
+	st, err := w.envStatics()
+	if err != nil {
+		return nil, err
 	}
+	rates := st.rates
 	env := &optimizer.Env{
 		NewExecutor: w.NewExecutor,
 		Trace:       w.Trace,
@@ -83,8 +128,8 @@ func (w *Workload) NewEnv(thetas []float64) (*optimizer.Env, error) {
 		},
 		Thetas:         thetas,
 		Costs:          [2]model.Costs{w.Costs[0], w.Costs[1]},
-		CasualHits:     [2]float64{w.CasualHits(0), w.CasualHits(1)},
-		Mentioned:      [2]int{w.MentionedDocs(0), w.MentionedDocs(1)},
+		CasualHits:     st.casualHits,
+		Mentioned:      st.mentioned,
 		SeedCount:      len(w.Seeds),
 		TopK:           [2]int{w.Ix[0].TopK(), w.Ix[1].TopK()},
 		BadInGoodPrior: 0.3,
@@ -95,19 +140,11 @@ func (w *Workload) NewEnv(thetas []float64) (*optimizer.Env, error) {
 		env.CacheHitRate = func(int) float64 { return cache.HitRate() }
 	}
 	for i := 0; i < 2; i++ {
-		aqg, err := w.aqgParams(i)
-		if err != nil {
-			return nil, err
-		}
-		env.AQG[i] = aqg
+		env.AQG[i] = st.aqg[i]
 		// Value-query precision prior from the training corpus shape.
 		env.QPrec[i] = 0.5
 		// Classifier rates characterized on the held-out training split.
-		ctp, cfp, err := classifier.Measure(w.Cls[i], w.Train[i], w.Task[i])
-		if err != nil {
-			return nil, err
-		}
-		env.Ctp[i], env.Cfp[i] = ctp, cfp
+		env.Ctp[i], env.Cfp[i] = st.ctp[i], st.cfp[i]
 	}
 	return env, nil
 }

@@ -103,6 +103,45 @@ type Workload struct {
 	emMu  sync.Mutex
 	emFor *obs.Registry
 	em    *obs.ExecMetrics
+
+	// statics memoizes the run-independent optimizer-environment
+	// measurements (training-split IE rates, classifier rates, AQG query
+	// compositions). It is shared by pointer between a workload and all its
+	// clones, so concurrent adaptive runs characterize the substrate once.
+	statics *envStatics
+}
+
+// Clone returns a per-run view of the workload: the immutable machinery
+// (databases, IE systems, indexes, classifiers, learned queries, seeds) and
+// the internally synchronized shared state (extraction-system memo, env
+// statics) are shared, while the per-run knobs — fault profile, retry
+// policy, deadline, worker counts, extraction cache, trace, and metrics —
+// live on the copy. Cloning is how the facade keeps concurrent Task.Run
+// calls from racing on each other's configuration.
+func (w *Workload) Clone() *Workload {
+	return &Workload{
+		Params:     w.Params,
+		Gaz:        w.Gaz,
+		DB:         w.DB,
+		Train:      w.Train,
+		Task:       w.Task,
+		Sys:        w.Sys,
+		Ix:         w.Ix,
+		Cls:        w.Cls,
+		AQGQueries: w.AQGQueries,
+		Costs:      w.Costs,
+		Seeds:      w.Seeds,
+
+		Faults:       w.Faults,
+		Retry:        w.Retry,
+		Deadline:     w.Deadline,
+		ExecWorkers:  w.ExecWorkers,
+		ExtractCache: w.ExtractCache,
+		Trace:        w.Trace,
+		Metrics:      w.Metrics,
+
+		statics: w.statics,
+	}
 }
 
 // execMetrics resolves the execution metric bundle against the currently
@@ -149,7 +188,7 @@ func Pair(p Params, task1, task2 string) (*Workload, error) {
 			p.TopK = 10
 		}
 	}
-	w := &Workload{Params: p, Task: [2]string{task1, task2}}
+	w := &Workload{Params: p, Task: [2]string{task1, task2}, statics: &envStatics{}}
 
 	vocabs := [2]textgen.TaskVocab{}
 	for i, task := range w.Task {

@@ -126,10 +126,16 @@ type FaultProfile struct {
 	p *faults.Profile
 }
 
+// FaultProfileHelp is the canonical help text for flags and API fields that
+// accept a ParseFaultProfile string; it lists the accepted keys.
+var FaultProfileHelp = faults.FlagHelp
+
 // ParseFaultProfile builds a fault profile from a compact string of
 // comma-separated key=value pairs, e.g. "rate=0.05,seed=9,burst=2,cost=2".
 // Keys: seed, rate, fetch, next, classify, trunc, stall, cost, burst,
-// permanent. An empty string yields nil (no injection).
+// permanent (see FaultProfileHelp). Errors name the offending key or value
+// and list the accepted vocabulary. An empty string yields nil (no
+// injection).
 func ParseFaultProfile(s string) (*FaultProfile, error) {
 	p, err := faults.Parse(s)
 	if err != nil || p == nil {
@@ -160,6 +166,10 @@ type RetryPolicy struct {
 
 // Task is a two-database extraction join task: text databases, IE systems,
 // trained retrieval machinery, and gold labels for evaluation.
+//
+// A Task is safe for concurrent Run calls (see Run for the exact contract);
+// its exported configuration fields must be set before the first concurrent
+// use and not mutated while runs are in flight.
 type Task struct {
 	w *workload.Workload
 
@@ -203,6 +213,8 @@ type CacheStats = pipeline.CacheStats
 
 // ExtractionCacheStats returns the current counters of the task's shared
 // extraction cache. The zero value is returned when no cache is configured.
+// It is safe to call concurrently with in-flight Run calls: the snapshot is
+// internally consistent, though counters advance as runs progress.
 func (t *Task) ExtractionCacheStats() CacheStats {
 	t.cacheMu.Lock()
 	defer t.cacheMu.Unlock()

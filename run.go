@@ -8,6 +8,7 @@ import (
 	"joinopt/internal/join"
 	"joinopt/internal/obs"
 	"joinopt/internal/optimizer"
+	"joinopt/internal/workload"
 )
 
 // RunOption configures one Run call. Options override the task-level
@@ -121,8 +122,10 @@ type RunResult struct {
 }
 
 // configure merges the task defaults with the per-run options and pushes the
-// result into the workload. It returns the merged config.
-func (t *Task) configure(opts []RunOption) *runConfig {
+// result into a private per-run clone of the workload, so concurrent Run
+// calls never observe each other's configuration. It returns the merged
+// config and the clone the run must execute against.
+func (t *Task) configure(opts []RunOption) (*runConfig, *workload.Workload) {
 	cfg := &runConfig{}
 	for _, o := range opts {
 		o(cfg)
@@ -153,19 +156,20 @@ func (t *Task) configure(opts []RunOption) *runConfig {
 	if cfg.cacheBytes != nil {
 		cacheBytes = *cfg.cacheBytes
 	}
-	t.w.ExecWorkers = execWorkers
-	t.w.ExtractCache = t.extractCache(cacheBytes)
-	t.w.Faults = fp
-	t.w.Retry = join.RetryPolicy{
+	w := t.w.Clone()
+	w.ExecWorkers = execWorkers
+	w.ExtractCache = t.extractCache(cacheBytes)
+	w.Faults = fp
+	w.Retry = join.RetryPolicy{
 		MaxRetries:    retry.MaxRetries,
 		BaseDelay:     retry.BaseDelay,
 		MaxDelay:      retry.MaxDelay,
 		FailureBudget: retry.FailureBudget,
 	}
-	t.w.Deadline = deadline
-	t.w.Trace = cfg.trace
-	t.w.Metrics = cfg.metrics
-	return cfg
+	w.Deadline = deadline
+	w.Trace = cfg.trace
+	w.Metrics = cfg.metrics
+	return cfg, w
 }
 
 // Run is the task's single execution entry point. By default it runs the
@@ -180,21 +184,31 @@ func (t *Task) configure(opts []RunOption) *runConfig {
 //
 // Run replaces Execute, RunAdaptive, RunAdaptiveCtx, and ResumeAdaptive,
 // which remain as thin deprecated wrappers.
+//
+// A Task is safe for concurrent Run calls: each run executes against a
+// private view of the workload, sharing only the immutable machinery, the
+// internally synchronized extraction memo, and the shared extraction cache.
+// Give each concurrent run its own Trace (a shared Trace interleaves events
+// and its clock follows whichever executor was constructed last); a shared
+// Metrics registry is safe but accumulates all runs into the same series.
+// The Task's configuration fields (Workers, Faults, Retry, Deadline,
+// ExecWorkers, ExtractCacheBytes) must not be mutated while runs are in
+// flight — configure them up front or per call via options.
 func (t *Task) Run(ctx context.Context, req Requirement, opts ...RunOption) (*RunResult, error) {
-	cfg := t.configure(opts)
+	cfg, w := t.configure(opts)
 	if cfg.plan != nil {
-		return t.runFixed(ctx, cfg)
+		return t.runFixed(ctx, w, cfg)
 	}
-	return t.runAdaptive(ctx, req, cfg)
+	return t.runAdaptive(ctx, w, req, cfg)
 }
 
 // runFixed executes one pinned plan.
-func (t *Task) runFixed(ctx context.Context, cfg *runConfig) (*RunResult, error) {
+func (t *Task) runFixed(ctx context.Context, w *workload.Workload, cfg *runConfig) (*RunResult, error) {
 	plan := *cfg.plan
 	if cfg.trace.Enabled() {
 		cfg.trace.EmitAt(0, obs.KindRunStart, 0, map[string]any{"mode": "fixed", "plan": plan.String()})
 	}
-	exec, err := t.w.NewExecutor(plan.spec())
+	exec, err := w.NewExecutor(plan.spec())
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +233,7 @@ func (t *Task) runFixed(ctx context.Context, cfg *runConfig) (*RunResult, error)
 }
 
 // runAdaptive executes (or resumes) the adaptive protocol.
-func (t *Task) runAdaptive(ctx context.Context, req Requirement, cfg *runConfig) (*RunResult, error) {
+func (t *Task) runAdaptive(ctx context.Context, w *workload.Workload, req Requirement, cfg *runConfig) (*RunResult, error) {
 	mode := "adaptive"
 	if cfg.ck != nil {
 		mode = "resume"
@@ -227,7 +241,7 @@ func (t *Task) runAdaptive(ctx context.Context, req Requirement, cfg *runConfig)
 	if cfg.trace.Enabled() {
 		cfg.trace.EmitAt(0, obs.KindRunStart, 0, map[string]any{"mode": mode, "tau_g": req.TauG, "tau_b": req.TauB})
 	}
-	env, err := t.w.NewEnv(Knobs)
+	env, err := w.NewEnv(Knobs)
 	if err != nil {
 		return nil, err
 	}
