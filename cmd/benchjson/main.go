@@ -2,17 +2,22 @@
 // JSON report, and checks the pipelined-executor speedup claims against one.
 //
 // Emit mode (default): parse benchmark lines from stdin and write
-// BENCH_exec.json-style output to -o (or stdout):
+// BENCH_exec.json-style output to -o (or stdout). Repeated runs of the same
+// benchmark (`-count 3`) are merged into one entry carrying the median of
+// each metric and the sample count, so the recorded numbers are not
+// single-run noise:
 //
-//	go test -run '^$' -bench 'BenchmarkExec' . | benchjson -o BENCH_exec.json
+//	go test -run '^$' -bench 'BenchmarkExec' -count 3 . | benchjson -o BENCH_exec.json
 //
 // Check mode: `benchjson -check BENCH_exec.json` verifies every
 // BenchmarkExec*/seq vs /workers4 pair. The report records the GOMAXPROCS the
 // benchmarks ran under; on a single-CPU box a parallel speedup is impossible
 // by construction, so the check skips (exit 0) below 2 CPUs rather than fail
-// on hardware the claim does not apply to. With 2–3 CPUs the pipeline must at
-// least not lose to sequential (within -slack); at 4+ CPUs the IDJN pair must
-// reach -min-speedup (default 2×).
+// on hardware the claim does not apply to — unless -require-parallel is set,
+// which turns that skip into a failure (CI uses it so the gate can never be
+// silently bypassed by a mis-provisioned runner). With 2–3 CPUs the pipeline
+// must at least not lose to sequential (within -slack); at 4+ CPUs the IDJN
+// pair must reach -min-speedup (default 2×).
 package main
 
 import (
@@ -23,17 +28,20 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// Benchmark is one parsed `go test -bench` result line.
+// Benchmark is one benchmark's merged result: the median over its repeated
+// runs (Samples of them) for each metric.
 type Benchmark struct {
 	Name        string  `json:"name"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Samples     int     `json:"samples,omitempty"`
 }
 
 // Report is the BENCH_exec.json schema.
@@ -62,7 +70,7 @@ func parse(lines *bufio.Scanner) ([]Benchmark, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ns/op in %q: %w", lines.Text(), err)
 		}
-		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
+		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns, Samples: 1}
 		// The remainder holds `<v> B/op` and `<v> allocs/op` value/unit pairs.
 		fields := strings.Fields(m[4])
 		for i := 0; i+1 < len(fields); i += 2 {
@@ -82,8 +90,52 @@ func parse(lines *bufio.Scanner) ([]Benchmark, error) {
 	return out, lines.Err()
 }
 
+// median returns the middle value of xs (the lower middle for even counts,
+// which is the conservative — slower — choice for timing samples).
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[(len(xs)-1)/2]
+}
+
+// merge collapses repeated runs of the same benchmark (`-count N`) into one
+// entry per name holding the median of each metric, in first-seen order.
+func merge(benches []Benchmark) []Benchmark {
+	byName := map[string][]Benchmark{}
+	var order []string
+	for _, b := range benches {
+		if _, seen := byName[b.Name]; !seen {
+			order = append(order, b.Name)
+		}
+		byName[b.Name] = append(byName[b.Name], b)
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		runs := byName[name]
+		pick := func(metric func(Benchmark) float64) float64 {
+			xs := make([]float64, len(runs))
+			for i, r := range runs {
+				xs[i] = metric(r)
+			}
+			return median(xs)
+		}
+		var iters int64
+		for _, r := range runs {
+			iters += r.Iterations
+		}
+		out = append(out, Benchmark{
+			Name:        name,
+			Iterations:  iters,
+			NsPerOp:     pick(func(b Benchmark) float64 { return b.NsPerOp }),
+			BytesPerOp:  pick(func(b Benchmark) float64 { return b.BytesPerOp }),
+			AllocsPerOp: pick(func(b Benchmark) float64 { return b.AllocsPerOp }),
+			Samples:     len(runs),
+		})
+	}
+	return out
+}
+
 // check verifies the seq-vs-workers4 pairs in a previously emitted report.
-func check(path string, minSpeedup, slack float64) error {
+func check(path string, minSpeedup, slack float64, requireParallel bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -93,6 +145,11 @@ func check(path string, minSpeedup, slack float64) error {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	if rep.GoMaxProcs < 2 {
+		if requireParallel {
+			return fmt.Errorf("report was produced at GOMAXPROCS=%d but -require-parallel is set: "+
+				"the speedup gate needs a multi-core run (re-record BENCH_exec.json on a >= 2-core machine)",
+				rep.GoMaxProcs)
+		}
 		fmt.Printf("benchjson: GOMAXPROCS=%d — parallel speedup not measurable on this machine, skipping check\n", rep.GoMaxProcs)
 		return nil
 	}
@@ -111,8 +168,8 @@ func check(path string, minSpeedup, slack float64) error {
 		}
 		pairs++
 		speedup := seq.NsPerOp / par.NsPerOp
-		fmt.Printf("benchjson: %-24s seq %.0f ns/op, workers4 %.0f ns/op, speedup %.2fx\n",
-			strings.TrimSuffix(strings.TrimPrefix(name, "Benchmark"), "/seq"), seq.NsPerOp, par.NsPerOp, speedup)
+		fmt.Printf("benchjson: [go_max_procs=%d] %-24s seq %.0f ns/op, workers4 %.0f ns/op, speedup %.2fx\n",
+			rep.GoMaxProcs, strings.TrimSuffix(strings.TrimPrefix(name, "Benchmark"), "/seq"), seq.NsPerOp, par.NsPerOp, speedup)
 		if speedup < 1/(1+slack) {
 			return fmt.Errorf("%s: 4-worker pipeline is %.2fx slower than sequential (allowed slack %.0f%%)",
 				name, 1/speedup, slack*100)
@@ -133,10 +190,12 @@ func main() {
 	checkPath := flag.String("check", "", "check an existing report instead of emitting one")
 	minSpeedup := flag.Float64("min-speedup", 2.0, "required IDJN seq/workers4 speedup at GOMAXPROCS >= 4")
 	slack := flag.Float64("slack", 0.10, "allowed fractional regression of workers4 vs seq")
+	requireParallel := flag.Bool("require-parallel", false,
+		"fail -check (instead of skipping) when the report was recorded at GOMAXPROCS < 2")
 	flag.Parse()
 
 	if *checkPath != "" {
-		if err := check(*checkPath, *minSpeedup, *slack); err != nil {
+		if err := check(*checkPath, *minSpeedup, *slack, *requireParallel); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -154,7 +213,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	rep := Report{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(), Benchmarks: benches}
+	rep := Report{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(), Benchmarks: merge(benches)}
+	fmt.Fprintf(os.Stderr, "benchjson: go_max_procs=%d go=%s benchmarks=%d (medians over repeated runs)\n",
+		rep.GoMaxProcs, rep.GoVersion, len(rep.Benchmarks))
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

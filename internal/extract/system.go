@@ -3,10 +3,12 @@ package extract
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"joinopt/internal/index"
 	"joinopt/internal/relation"
 	"joinopt/internal/textgen"
 )
@@ -150,89 +152,146 @@ func (s *System) Candidates(text string) []Candidate {
 	return out
 }
 
+// scanScratch is the reusable working state of one extraction pass: token,
+// entity, and mask buffers, the context and dedup maps (cleared, not
+// reallocated, between uses), and a per-scratch intern table for lowered
+// token spans. Scratches cycle through a sync.Pool, so concurrent pipeline
+// workers each hold their own and the per-sentence loop stays allocation-free
+// once warm (the alloc-budget tests guard this).
+type scanScratch struct {
+	tokens   []string
+	entities []Entity
+	covered  []bool
+	context  map[string]int
+	seen     map[relation.Tuple]bool
+	interner index.Interner
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scanScratch{
+		context:  map[string]int{},
+		seen:     map[relation.Tuple]bool{},
+		interner: index.Interner{},
+	}
+}}
+
 // Scan performs the actual sentence-level extraction pass, bypassing the
 // candidate cache (cost calibration measures the real pipeline with it).
 func (s *System) Scan(text string) []Candidate {
+	sc := scratchPool.Get().(*scanScratch)
+	defer scratchPool.Put(sc)
 	var out []Candidate
-	for _, tokens := range SplitSentences(text) {
-		entities, covered := s.tagger.Tag(tokens)
-		pairs := s.slotPairs(entities)
-		if len(pairs) == 0 {
+	// Iterate the '.'-separated sentence segments in place rather than
+	// materializing a [][]string for the whole document.
+	for rest := text; rest != ""; {
+		var seg string
+		if i := strings.IndexByte(rest, '.'); i >= 0 {
+			seg, rest = rest[:i], rest[i+1:]
+		} else {
+			seg, rest = rest, ""
+		}
+		sc.tokens = index.TokenizeInto(seg, sc.tokens[:0], sc.interner)
+		if len(sc.tokens) == 0 {
 			continue
 		}
-		context := map[string]int{}
+		sc.entities, sc.covered = s.tagger.TagInto(sc.tokens, sc.entities, sc.covered)
+		pair, ok := s.slotPair(sc.entities)
+		if !ok {
+			continue
+		}
+		clear(sc.context)
 		contextLen := 0
-		for i, tok := range tokens {
-			if !covered[i] {
-				context[tok]++
+		for i, tok := range sc.tokens {
+			if !sc.covered[i] {
+				sc.context[tok]++
 				contextLen++
 			}
 		}
 		score := 0.0
 		for _, p := range s.Patterns {
-			if sc := p.Score(context, contextLen); sc > score {
-				score = sc
+			if v := p.Score(sc.context, contextLen); v > score {
+				score = v
 			}
 		}
 		if score <= 0 {
 			continue
 		}
-		for _, pair := range pairs {
-			out = append(out, Candidate{Tuple: pair, Score: score})
-		}
+		out = append(out, Candidate{Tuple: pair, Score: score})
 	}
 	return out
 }
 
-// slotPairs matches tagged entities to the task's slots: the first Slot1
+// slotPairs matches tagged entities to the task's slots; it wraps slotPair
+// for the cold callers (bootstrapping, training) that want a slice.
+func (s *System) slotPairs(entities []Entity) []relation.Tuple {
+	if pair, ok := s.slotPair(entities); ok {
+		return []relation.Tuple{pair}
+	}
+	return nil
+}
+
+// slotPair matches tagged entities to the task's slots: the first Slot1
 // entity paired with the first distinct Slot2 entity following it (or
 // anywhere in the sentence when none follows). Same-type tasks (e.g.
 // Mergers' Company-Company) pair the first two distinct companies in order.
-func (s *System) slotPairs(entities []Entity) []relation.Tuple {
+// It allocates nothing — the sentence hot path calls it per sentence.
+func (s *System) slotPair(entities []Entity) (relation.Tuple, bool) {
 	if s.Slot1 == s.Slot2 {
-		var names []string
+		var first, second string
 		for _, e := range entities {
-			if e.Type == s.Slot1 && (len(names) == 0 || names[len(names)-1] != e.Name) {
-				names = append(names, e.Name)
+			if e.Type != s.Slot1 {
+				continue
+			}
+			if first == "" {
+				first = e.Name
+			} else if e.Name != first {
+				second = e.Name
+				break
 			}
 		}
-		if len(names) >= 2 && names[0] != names[1] {
-			return []relation.Tuple{{A1: names[0], A2: names[1]}}
+		if second == "" {
+			return relation.Tuple{}, false
 		}
-		return nil
+		return relation.Tuple{A1: first, A2: second}, true
 	}
 	var first1, first2 string
 	for _, e := range entities {
-		if e.Type == s.Slot1 && first1 == "" {
+		if first1 == "" && e.Type == s.Slot1 {
 			first1 = e.Name
 		}
-		if e.Type == s.Slot2 && first2 == "" {
+		if first2 == "" && e.Type == s.Slot2 {
 			first2 = e.Name
 		}
 	}
 	if first1 == "" || first2 == "" {
-		return nil
+		return relation.Tuple{}, false
 	}
-	return []relation.Tuple{{A1: first1, A2: first2}}
+	return relation.Tuple{A1: first1, A2: first2}, true
 }
 
 // Extract runs the system over text at knob configuration theta (minSim)
 // and returns the emitted tuples, deduplicated, in deterministic order.
 func (s *System) Extract(text string, theta float64) []relation.Tuple {
 	s.extracts.Add(1)
-	seen := map[relation.Tuple]bool{}
+	cands := s.Candidates(text)
 	var out []relation.Tuple
-	for _, c := range s.Candidates(text) {
-		if c.Score >= theta && !seen[c.Tuple] {
-			seen[c.Tuple] = true
+	sc := scratchPool.Get().(*scanScratch)
+	clear(sc.seen)
+	for _, c := range cands {
+		if c.Score >= theta && !sc.seen[c.Tuple] {
+			sc.seen[c.Tuple] = true
 			out = append(out, c.Tuple)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A1 != out[j].A1 {
-			return out[i].A1 < out[j].A1
+	scratchPool.Put(sc)
+	// Tuples are distinct after the dedup, so any comparison sort yields the
+	// same deterministic order; SortFunc avoids sort.Slice's interface and
+	// closure allocations.
+	slices.SortFunc(out, func(a, b relation.Tuple) int {
+		if c := strings.Compare(a.A1, b.A1); c != 0 {
+			return c
 		}
-		return out[i].A2 < out[j].A2
+		return strings.Compare(a.A2, b.A2)
 	})
 	return out
 }

@@ -75,8 +75,21 @@ type Entity struct {
 // Tag finds entity occurrences in tokens by greedy longest match and returns
 // them in order along with a mask of the tokens covered by entities.
 func (t *Tagger) Tag(tokens []string) ([]Entity, []bool) {
-	covered := make([]bool, len(tokens))
-	var out []Entity
+	return t.TagInto(tokens, nil, nil)
+}
+
+// TagInto is Tag with caller-owned entity and mask buffers, reused across
+// calls so the per-sentence extraction loop does not allocate (see extract's
+// scan scratch and the alloc guard).
+func (t *Tagger) TagInto(tokens []string, ents []Entity, mask []bool) ([]Entity, []bool) {
+	var covered []bool
+	if cap(mask) >= len(tokens) {
+		covered = mask[:len(tokens)]
+		clear(covered)
+	} else {
+		covered = make([]bool, len(tokens))
+	}
+	out := ents[:0]
 	for i := 0; i < len(tokens); {
 		matched := false
 		for _, e := range t.byFirst[tokens[i]] {

@@ -13,20 +13,76 @@ import (
 	"slices"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Tokenize lower-cases text and splits it into letter/digit runs. It is the
 // single tokenization used by the index, the extraction engine, the
 // classifiers, and the query generator, so all components agree on terms.
 func Tokenize(text string) []string {
-	fields := strings.FieldsFunc(text, func(r rune) bool {
-		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
-	})
-	out := make([]string, len(fields))
-	for i, f := range fields {
-		out[i] = strings.ToLower(f)
+	return TokenizeInto(text, nil, nil)
+}
+
+// Interner caches the lowered form of raw token spans so repeated
+// tokenization of a vocabulary allocates each lowered string once. Keys are
+// substrings of the tokenized texts, so an interner pins those texts in
+// memory — appropriate for corpus documents that live in the database
+// anyway. Interners are not safe for concurrent use; give each worker its
+// own (see extract's scan scratch).
+type Interner map[string]string
+
+// lower returns the lowered form of a raw token span, consulting and
+// updating the intern table when one is attached.
+func (in Interner) lower(raw string) string {
+	if in == nil {
+		return strings.ToLower(raw)
+	}
+	if s, ok := in[raw]; ok {
+		return s
+	}
+	s := strings.ToLower(raw)
+	in[raw] = s
+	return s
+}
+
+// TokenizeInto is Tokenize with a caller-owned token buffer and an optional
+// intern table: tokens are appended to buf's backing array (grown as
+// needed), and spans that are already lower-case — the common case for body
+// text — are substrings of text, not copies. With a warm buffer and
+// interner the call does not allocate; the extraction hot path depends on
+// this (the extract alloc guard covers it).
+func TokenizeInto(text string, buf []string, in Interner) []string {
+	out := buf
+	start := -1 // byte offset of the current letter/digit run, -1 outside one
+	lower := true
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start, lower = i, true
+			}
+			// Conservative: any non-ASCII rune goes through ToLower.
+			if r >= 'A' && r <= 'Z' || r >= utf8.RuneSelf {
+				lower = false
+			}
+			continue
+		}
+		if start >= 0 {
+			out = appendToken(out, text[start:i], lower, in)
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = appendToken(out, text[start:], lower, in)
 	}
 	return out
+}
+
+// appendToken appends a token span, lowering it only when needed.
+func appendToken(out []string, raw string, lower bool, in Interner) []string {
+	if lower {
+		return append(out, raw)
+	}
+	return append(out, in.lower(raw))
 }
 
 // Query is a conjunctive keyword query: a document matches iff it contains

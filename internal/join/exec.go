@@ -368,9 +368,12 @@ func processDoc(st *State, i int, s *Side, docID int) ([]relation.Tuple, error) 
 }
 
 // announce schedules speculative extraction of an upcoming side-i document
-// on the pipeline engine (a no-op without one).
-func (st *State) announce(i int, s *Side, docID int) {
-	st.Pipeline.Announce(pipeline.Key{Side: i, DocID: docID, Theta: s.Theta})
+// on the pipeline engine (a no-op without one). It reports false when the
+// engine's window refused the document — the caller should stop announcing
+// for this step and retry from the same document later (see
+// pipeline.Engine.Announce).
+func (st *State) announce(i int, s *Side, docID int) bool {
+	return st.Pipeline.Announce(pipeline.Key{Side: i, DocID: docID, Theta: s.Theta})
 }
 
 // texts extracts the raw document texts of a database, for index building.

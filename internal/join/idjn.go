@@ -22,6 +22,12 @@ type IDJN struct {
 	rates [2]float64
 	acc   [2]float64
 
+	// ahead counts the already-announced prefix of each side's peek list, so
+	// the per-step announce pass touches only newly exposed documents. Each
+	// successful pull consumes the head of the peek list and shifts the
+	// prefix down by one.
+	ahead [2]int
+
 	done [2]bool
 	st   *State
 }
@@ -65,7 +71,10 @@ func (e *IDJN) State() *State { return e.st }
 
 // announce feeds the pipeline engine the documents each retrieval stream
 // will hand out next (peeked without advancing the streams), so workers can
-// extract ahead of the consumer.
+// extract ahead of the consumer. The peek lists are prefix-stable, so only
+// the tail past the ahead cursor is new; a window-full refusal ends the pass
+// (nothing after it would be accepted either) and the cursor retries the
+// refused document on a later step.
 func (e *IDJN) announce() {
 	n := e.st.Pipeline.Lookahead()
 	if n == 0 {
@@ -75,8 +84,15 @@ func (e *IDJN) announce() {
 		if e.done[i] {
 			continue
 		}
-		for _, id := range retrieval.PeekAhead(e.strat[i], n) {
-			e.st.announce(i, e.sides[i], id)
+		peek := retrieval.PeekAhead(e.strat[i], n)
+		if e.ahead[i] > len(peek) {
+			e.ahead[i] = len(peek)
+		}
+		for e.ahead[i] < len(peek) {
+			if !e.st.announce(i, e.sides[i], peek[e.ahead[i]]) {
+				break
+			}
+			e.ahead[i]++
 		}
 	}
 }
@@ -102,6 +118,10 @@ func (e *IDJN) Step() (bool, error) {
 			e.prev[i] = now
 			if err != nil {
 				return false, err
+			}
+			if ok && e.ahead[i] > 0 {
+				// The pull consumed the head of the peek list.
+				e.ahead[i]--
 			}
 			if skip {
 				continue

@@ -23,6 +23,7 @@ type OIJN struct {
 	queried   map[string]bool // join values already used as queries
 	innerSeen map[int]bool    // inner documents already processed
 	searchBuf []int           // reused inner-query result buffer
+	ahead     int             // announced prefix of the outer peek list
 	done      bool
 	st        *State
 }
@@ -75,8 +76,17 @@ func (e *OIJN) Step() (bool, error) {
 		return false, nil
 	}
 	if n := e.st.Pipeline.Lookahead(); n > 0 {
-		for _, peek := range retrieval.PeekAhead(e.strat, n) {
-			e.st.announce(e.outerIdx, e.outer, peek)
+		// Announce only the tail of the (prefix-stable) peek list past the
+		// ahead cursor; stop at a window-full refusal and retry it later.
+		peek := retrieval.PeekAhead(e.strat, n)
+		if e.ahead > len(peek) {
+			e.ahead = len(peek)
+		}
+		for e.ahead < len(peek) {
+			if !e.st.announce(e.outerIdx, e.outer, peek[e.ahead]) {
+				break
+			}
+			e.ahead++
 		}
 	}
 	id, ok, skip, err := pullDoc(e.st, e.outerIdx, e.outer, e.strat)
@@ -85,6 +95,10 @@ func (e *OIJN) Step() (bool, error) {
 	e.prev = now
 	if err != nil {
 		return false, err
+	}
+	if ok && e.ahead > 0 {
+		// The pull consumed the head of the peek list.
+		e.ahead--
 	}
 	if skip {
 		return true, nil
@@ -117,10 +131,12 @@ func (e *OIJN) Step() (bool, error) {
 		e.searchBuf = e.inner.Index.SearchInto(index.QueryFromValue(a), e.searchBuf[:0])
 		if e.st.Pipeline.Lookahead() > 0 {
 			// The whole inner batch is known before any of it is processed —
-			// announce it all so workers extract ahead of the loop below.
+			// announce it all so workers extract ahead of the loop below. A
+			// window-full refusal ends the pass: later documents would be
+			// refused too, and this batch is resolved before the next query.
 			for _, docID := range e.searchBuf {
-				if !e.innerSeen[docID] {
-					e.st.announce(innerIdx, e.inner, docID)
+				if !e.innerSeen[docID] && !e.st.announce(innerIdx, e.inner, docID) {
+					break
 				}
 			}
 		}

@@ -104,10 +104,12 @@ func (e *ZGJN) Step() (bool, error) {
 	e.searchBuf = side.Index.SearchInto(index.QueryFromValue(value), e.searchBuf[:0])
 	if e.st.Pipeline.Lookahead() > 0 {
 		// The query's whole result batch is known up front — announce it so
-		// workers extract ahead of the loop below.
+		// workers extract ahead of the loop below. A window-full refusal
+		// ends the pass: later documents would be refused too, and this
+		// batch is resolved before the next query.
 		for _, docID := range e.searchBuf {
-			if !e.seen[i][docID] {
-				e.st.announce(i, side, docID)
+			if !e.seen[i][docID] && !e.st.announce(i, side, docID) {
+				break
 			}
 		}
 	}

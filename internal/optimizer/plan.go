@@ -125,10 +125,11 @@ type Inputs struct {
 	Workers int
 
 	// ExecWorkers is the pipelined execution worker count the chosen plan
-	// will run under (0/1 = sequential). Prediction only: extraction
-	// overlaps across up to min(ExecWorkers, pipeline window) documents, so
-	// the model scales the per-document extraction charge accordingly.
-	// Executed cost accounting is unaffected.
+	// will run under (0/1 = sequential). Prediction only: the model divides
+	// the per-document extraction charge by the overlap the pool actually
+	// delivers (pipeline.EffectiveOverlap — Amdahl's law over the measured
+	// serial fraction, not the raw worker count). Executed cost accounting
+	// is unaffected.
 	ExecWorkers int
 
 	// CacheHitRate is the expected extraction-cache hit rate per side in
@@ -150,9 +151,11 @@ func (in *Inputs) params(side int, theta float64) (*model.RelationParams, error)
 
 // effCosts returns side's cost parameters as plan-time prediction should see
 // them under pipelined execution: the expected extraction charge shrinks by
-// the anticipated cache hit rate, and by the overlap a worker pool provides
-// (bounded by the pipeline lookahead window). Executed runs still charge the
-// full tE per cache miss — this adjustment only sharpens predictions.
+// the anticipated cache hit rate, and by the overlap the worker pool
+// actually delivers (pipeline.EffectiveOverlap, the Amdahl curve measured on
+// the batched engine — not the raw worker count, which over-promised before
+// the engine was fixed). Executed runs still charge the full tE per cache
+// miss — this adjustment only sharpens predictions.
 func (in *Inputs) effCosts(side int) model.Costs {
 	c := in.Costs[side]
 	if hr := in.CacheHitRate[side]; hr > 0 {
@@ -162,11 +165,7 @@ func (in *Inputs) effCosts(side int) model.Costs {
 		c.TE *= 1 - hr
 	}
 	if in.ExecWorkers > 1 {
-		overlap := in.ExecWorkers
-		if overlap > pipeline.DefaultWindow {
-			overlap = pipeline.DefaultWindow
-		}
-		c.TE /= float64(overlap)
+		c.TE /= pipeline.EffectiveOverlap(in.ExecWorkers)
 	}
 	return c
 }

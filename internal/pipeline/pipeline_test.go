@@ -2,8 +2,10 @@ package pipeline
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"joinopt/internal/relation"
 )
@@ -184,8 +186,8 @@ func TestEngineSpeculation(t *testing.T) {
 	if e.HasCache() {
 		t.Fatal("no cache attached")
 	}
-	if e.Lookahead() != DefaultWindow {
-		t.Fatalf("lookahead %d, want window %d", e.Lookahead(), DefaultWindow)
+	if e.Lookahead() != DefaultWindow+batchSize {
+		t.Fatalf("lookahead %d, want window %d plus one batch of probe headroom", e.Lookahead(), DefaultWindow)
 	}
 	// Announce a batch (with duplicates), then resolve in order.
 	for i := 0; i < 10; i++ {
@@ -250,6 +252,213 @@ func TestEngineSkipsAnnouncingCachedKeys(t *testing.T) {
 	}
 }
 
+// TestEngineGoroutineBound is the regression guard for the old
+// goroutine-per-announcement scheme: announcing a full window of documents
+// must add at most `workers` goroutines, because speculation runs on a
+// persistent dispatcher pool, not on per-document spawns.
+func TestEngineGoroutineBound(t *testing.T) {
+	const workers = 4
+	release := make(chan struct{})
+	e := NewEngine(nil, workers, func(Key) []relation.Tuple { <-release; return nil })
+	base := runtime.NumGoroutine()
+	for i := 0; i < 3*DefaultWindow; i++ {
+		e.Announce(Key{DocID: i})
+	}
+	// Every submitted batch is now queued and the pool is saturated: the
+	// goroutine count must be bounded by the pool size, never by the number
+	// of announcements.
+	if n := runtime.NumGoroutine(); n > base+workers {
+		t.Fatalf("%d goroutines after announcing %d docs (started from %d): pool of %d leaked per-doc goroutines",
+			n, 3*DefaultWindow, base, workers)
+	}
+	close(release)
+	for i := 0; i < 3*DefaultWindow; i++ {
+		e.Resolve(Key{DocID: i}, func() []relation.Tuple { return nil })
+	}
+	// After the run drains, the workers must have exited on their own — the
+	// engine has no Close, so a lingering pool would leak per execution.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("%d goroutines after the run drained, started from %d: workers did not exit", n, base)
+	}
+}
+
+// TestEngineDropSkipsPendingWork pins the prompt-release half of Drop: a
+// dropped speculation no worker has started is skipped outright — the
+// extraction never runs and the consumer falls back to inline.
+func TestEngineDropSkipsPendingWork(t *testing.T) {
+	var mu sync.Mutex
+	extracted := map[Key]int{}
+	release := make(chan struct{})
+	e := NewEngine(nil, 1, func(k Key) []relation.Tuple {
+		if k.DocID == 0 {
+			<-release // hold the only worker inside doc 0
+		}
+		mu.Lock()
+		extracted[k]++
+		mu.Unlock()
+		return nil
+	})
+	for i := 0; i < batchSize; i++ { // one full batch: docs 0..7, worker blocks on 0
+		e.Announce(Key{DocID: i})
+	}
+	dropped := Key{DocID: batchSize - 1}
+	e.Drop(dropped) // still pending: the worker is held inside doc 0
+	close(release)
+	inlined := false
+	for i := 0; i < batchSize; i++ {
+		k := Key{DocID: i}
+		e.Resolve(k, func() []relation.Tuple {
+			if k == dropped {
+				inlined = true
+			}
+			return nil
+		})
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if n := extracted[dropped]; n != 0 {
+		t.Fatalf("dropped pending key extracted %d times, want the worker to skip it", n)
+	}
+	if !inlined {
+		t.Fatal("dropped key did not fall back to inline extraction")
+	}
+}
+
+// TestEngineReannounceAfterDropAdoptsOrphan pins the no-double-extraction
+// half of Drop: re-announcing a key whose dropped speculation is still in
+// flight must re-adopt that speculation, not schedule a second extraction.
+func TestEngineReannounceAfterDropAdoptsOrphan(t *testing.T) {
+	var mu sync.Mutex
+	extracted := map[Key]int{}
+	release := make(chan struct{})
+	e := NewEngine(nil, 1, func(k Key) []relation.Tuple {
+		if k.DocID == 0 {
+			<-release
+		}
+		mu.Lock()
+		extracted[k]++
+		mu.Unlock()
+		return tuples(1, fmt.Sprintf("d%d", k.DocID))
+	})
+	for i := 0; i < batchSize; i++ {
+		e.Announce(Key{DocID: i})
+	}
+	victim := Key{DocID: 3}
+	e.Drop(victim)     // orphaned while the worker is held on doc 0
+	e.Announce(victim) // must re-adopt the orphan, not extract twice
+	close(release)
+	for i := 0; i < batchSize; i++ {
+		got, _, _ := e.Resolve(Key{DocID: i}, func() []relation.Tuple {
+			t.Errorf("doc %d resolved inline; the adopted speculation should serve it", i)
+			return nil
+		})
+		if len(got) != 1 {
+			t.Fatalf("doc %d: %d tuples, want 1", i, len(got))
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for k, n := range extracted {
+		if n != 1 {
+			t.Errorf("key %+v extracted %d times, want exactly once", k, n)
+		}
+	}
+}
+
+// TestEngineResolveCollectsOrphan covers the resolution path of the same
+// property: when a dropped speculation's key is resolved (no re-announce),
+// the orphan's result is collected instead of extracting inline a second
+// time.
+func TestEngineResolveCollectsOrphan(t *testing.T) {
+	var mu sync.Mutex
+	extracted := map[Key]int{}
+	e := NewEngine(nil, 2, func(k Key) []relation.Tuple {
+		mu.Lock()
+		extracted[k]++
+		mu.Unlock()
+		return tuples(2, fmt.Sprintf("d%d", k.DocID))
+	})
+	for i := 0; i < batchSize; i++ {
+		e.Announce(Key{DocID: i})
+	}
+	victim := Key{DocID: 5}
+	e.Drop(victim)
+	got, hit, _ := e.Resolve(victim, func() []relation.Tuple {
+		// Inline fallback is legal only if the orphan was skipped before it
+		// ran; in that case it must be the sole extraction.
+		return tuples(2, "inline")
+	})
+	if hit || len(got) != 2 {
+		t.Fatalf("resolve after drop: hit=%v len=%d", hit, len(got))
+	}
+	for i := 0; i < batchSize; i++ {
+		e.Resolve(Key{DocID: i}, func() []relation.Tuple { return nil })
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if n := extracted[victim]; n > 1 {
+		t.Fatalf("dropped key extracted %d times after resolve, want at most once", n)
+	}
+}
+
+// TestEngineWindowGrowsUnderStarvation drives the executor announce/resolve
+// rhythm with slow extractions and window-limited announcements: the
+// adaptive controller must widen the window beyond its initial bound.
+func TestEngineWindowGrowsUnderStarvation(t *testing.T) {
+	e := NewEngine(nil, 4, func(Key) []relation.Tuple {
+		time.Sleep(200 * time.Microsecond)
+		return nil
+	})
+	// NewEngine caps growth by GOMAXPROCS; lift the cap so the controller's
+	// grow signal is observable regardless of the host's core count.
+	e.maxWindow = MaxWindow
+	for i := 0; i < 3*DefaultWindow; i++ {
+		// Announce the sliding lookahead range past the cursor, as the
+		// executors do each step; dedup makes re-announcements free.
+		for j := i; j < i+e.Lookahead(); j++ {
+			e.Announce(Key{DocID: j})
+		}
+		e.Resolve(Key{DocID: i}, func() []relation.Tuple { return nil })
+	}
+	if e.window <= DefaultWindow {
+		t.Fatalf("window %d after sustained waits with window-limited announcements, want > %d", e.window, DefaultWindow)
+	}
+}
+
+// TestEngineWindowShrinksWhenConsumerLags covers the opposite signal:
+// extractions finish instantly and pile up while the consumer never blocks,
+// so speculative depth is wasted and the window must contract.
+func TestEngineWindowShrinksWhenConsumerLags(t *testing.T) {
+	e := NewEngine(nil, 4, func(Key) []relation.Tuple { return nil })
+	for i := 0; i < DefaultWindow; i++ {
+		e.Announce(Key{DocID: i})
+	}
+	// Wait until every announced extraction has completed, so the backlog
+	// peak reaches the full window before any resolution.
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		e.mu.Lock()
+		backlog := e.doneBacklog
+		e.mu.Unlock()
+		if backlog >= DefaultWindow || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < DefaultWindow; i++ {
+		e.Resolve(Key{DocID: i}, func() []relation.Tuple { return nil })
+	}
+	if e.window >= DefaultWindow {
+		t.Fatalf("window %d after an all-done backlog with zero waits, want < %d", e.window, DefaultWindow)
+	}
+	if e.window < MinWindow {
+		t.Fatalf("window %d shrank below MinWindow %d", e.window, MinWindow)
+	}
+}
+
 // TestEngineConcurrentResolve exercises the announce/resolve protocol with
 // many in-flight extractions so `go test -race` can observe the
 // synchronization between worker goroutines and the consumer.
@@ -272,5 +481,31 @@ func TestEngineConcurrentResolve(t *testing.T) {
 				t.Fatalf("round %d doc %d: %d tuples, want %d", round, i, len(got), want)
 			}
 		}
+	}
+}
+
+// TestEffectiveOverlap pins the Amdahl-style scaling model the optimizer's
+// cost estimates divide by: no benefit at or below one worker, strictly
+// more overlap with more workers, but always sublinear (the sequential
+// consumer bounds it) and saturating at the MaxWindow cap.
+func TestEffectiveOverlap(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		if got := EffectiveOverlap(n); got != 1 {
+			t.Errorf("EffectiveOverlap(%d) = %v, want 1", n, got)
+		}
+	}
+	prev := 1.0
+	for n := 2; n <= 64; n *= 2 {
+		got := EffectiveOverlap(n)
+		if got <= prev {
+			t.Errorf("EffectiveOverlap(%d) = %v, want > EffectiveOverlap(%d) = %v", n, got, n/2, prev)
+		}
+		if got >= float64(n) {
+			t.Errorf("EffectiveOverlap(%d) = %v, want < %d (overlap must be sublinear)", n, got, n)
+		}
+		prev = got
+	}
+	if a, b := EffectiveOverlap(MaxWindow), EffectiveOverlap(MaxWindow*4); a != b {
+		t.Errorf("EffectiveOverlap should saturate at MaxWindow: got %v at %d, %v at %d", a, MaxWindow, b, MaxWindow*4)
 	}
 }
