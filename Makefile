@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race transparency serve-smoke bench bench-overhead bench-json bench-json-check
+.PHONY: check build vet test race transparency serve-smoke crash-smoke bench bench-overhead bench-json bench-json-check bench-service
 
 # check is the full pre-merge gate: static checks, a clean build, the test
 # suite, the race detector over the concurrent packages (the optimizer's
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/optimizer/... ./internal/join/... ./internal/faults/... ./internal/workload/... ./internal/obs/... ./internal/pipeline/... ./internal/service/...
+	$(GO) test -race ./internal/optimizer/... ./internal/join/... ./internal/faults/... ./internal/workload/... ./internal/obs/... ./internal/pipeline/... ./internal/service/... ./internal/durable/...
 	$(GO) test -race -run TestConcurrentRunsOnOneTask -count=1 .
 
 transparency:
@@ -30,6 +30,14 @@ transparency:
 # scrape), then SIGTERMs it and requires a clean drain.
 serve-smoke:
 	$(GO) test ./cmd/joinoptd -run TestServeSmoke -count=1 -v
+
+# crash-smoke is the kill-and-recover harness: boot joinoptd with a state
+# dir, SIGKILL it mid-run with one job executing and one queued, restart it
+# against the same directory, and require both jobs to finish with the
+# recovery counters, warmed extraction cache, and NDJSON event streams all
+# verified over HTTP.
+crash-smoke:
+	$(GO) test ./cmd/joinoptd -run TestCrashSmoke -count=1 -v
 
 # bench runs the optimizer plan-space benchmarks: sequential vs parallel
 # Choose on the 256-plan space, and cold vs warm memoization sweeps.
@@ -61,6 +69,18 @@ bench-json-check: bench-json
 		echo "================================================================"; \
 	fi
 	$(GO) run ./cmd/benchjson -check BENCH_exec.json
+
+# bench-service boots joinoptd under admission pressure (small queue, tight
+# tenant quotas), drives it with loadgen's closed loop, and records the
+# service-level numbers — p50/p99 end-to-end job latency, 429 rate,
+# throughput — as BENCH_service.json.
+bench-service:
+	$(GO) build -o /tmp/joinoptd.bench ./cmd/joinoptd
+	@/tmp/joinoptd.bench -listen 127.0.0.1:18080 -service-workers 2 -queue-depth 8 -tenant-quota 3 & \
+	pid=$$!; sleep 1; \
+	$(GO) run ./cmd/loadgen -addr 127.0.0.1:18080 -clients 8 -jobs 48 -tenants 2 -docs 400 -json BENCH_service.json; rc=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; exit $$rc
+	@cat BENCH_service.json
 
 # bench-overhead compares a full executor run with observability detached
 # (the nil fast path), with a ring trace + metrics attached, and with an

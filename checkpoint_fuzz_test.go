@@ -1,0 +1,49 @@
+package joinopt
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzCheckpointUnmarshal feeds arbitrary bytes — seeded with a valid
+// encoding and targeted corruptions of it — to the checkpoint decoder. The
+// decoder must never panic; every rejection must be a typed
+// *CheckpointDecodeError; and anything it accepts must re-encode cleanly
+// (no silent misparse into an un-marshalable state).
+func FuzzCheckpointUnmarshal(f *testing.F) {
+	valid, err := json.Marshal(goldenCheckpoint())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{"version":1,"crc":0,"checkpoint":{}}`))
+	f.Add([]byte(`{"version":2,"crc":0,"checkpoint":{}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	for i := 0; i < len(valid); i += 97 {
+		b := append([]byte(nil), valid...)
+		b[i] ^= 0x08
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := DecodeCheckpoint(data)
+		if err != nil {
+			var de *CheckpointDecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("decode error %T (%v) is not a *CheckpointDecodeError", err, err)
+			}
+			if ck != nil {
+				t.Fatal("failed decode returned a checkpoint")
+			}
+			return
+		}
+		if ck.ck == nil {
+			t.Fatal("successful decode left a nil checkpoint")
+		}
+		if _, err := json.Marshal(ck); err != nil {
+			t.Fatalf("accepted checkpoint does not re-encode: %v", err)
+		}
+	})
+}

@@ -11,6 +11,14 @@
 // On SIGINT/SIGTERM the daemon stops admitting (readyz turns 503), lets
 // in-flight jobs finish until -drain-grace expires, then cancels the rest —
 // adaptive jobs checkpoint, keeping partial results resumable.
+//
+// With -state-dir the daemon is crash-safe: submissions and state
+// transitions go to a write-ahead journal, adaptive checkpoints and results
+// to snapshot files, and extraction-cache entries to a disk tier. A killed
+// daemon restarted against the same directory serves completed results,
+// resumes interrupted adaptive jobs from their last checkpoint, and
+// re-enqueues jobs that never ran. Disk failures degrade the daemon to
+// memory-only (surfaced on /readyz) — they never fail jobs.
 package main
 
 import (
@@ -26,6 +34,8 @@ import (
 	"syscall"
 	"time"
 
+	"joinopt/internal/durable"
+	"joinopt/internal/faults"
 	"joinopt/internal/obs"
 	"joinopt/internal/service"
 )
@@ -41,9 +51,15 @@ func main() {
 		maxJobs     = flag.Int("max-jobs", 1024, "finished jobs retained for status/result queries")
 		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "shutdown grace before in-flight jobs are canceled")
 		traceFile   = flag.String("trace", "", "append every job's trace events to this NDJSON file")
+		stateDir    = flag.String("state-dir", "", "directory for the job journal, checkpoint/result snapshots, and the extraction-cache disk tier (empty = memory-only)")
+		noPersist   = flag.Bool("no-persist", false, "ignore -state-dir and run memory-only")
+		stateFaults = flag.String("state-faults", "", "disk fault-injection profile for the durable store (dwrite=, dsync=, dcorrupt=, seed=; testing only)")
 	)
 	flag.Parse()
-	if err := run(*listen, *traceFile, *drainGrace, service.Options{
+	if *noPersist {
+		*stateDir = ""
+	}
+	if err := run(*listen, *traceFile, *stateDir, *stateFaults, *drainGrace, service.Options{
 		Workers:           *workers,
 		QueueDepth:        *queueDepth,
 		TenantQuota:       *tenantQuota,
@@ -56,7 +72,7 @@ func main() {
 	}
 }
 
-func run(listen, traceFile string, drainGrace time.Duration, opts service.Options) error {
+func run(listen, traceFile, stateDir, stateFaults string, drainGrace time.Duration, opts service.Options) error {
 	logger := log.New(os.Stderr, "joinoptd: ", log.LstdFlags)
 
 	if traceFile != "" {
@@ -66,6 +82,33 @@ func run(listen, traceFile string, drainGrace time.Duration, opts service.Option
 		}
 		defer f.Close()
 		opts.TraceSink = obs.NewNDJSON(f)
+	}
+
+	if stateDir != "" {
+		opts.Metrics = obs.NewRegistry()
+		dopts := durable.Options{Metrics: opts.Metrics}
+		if stateFaults != "" {
+			fp, err := faults.Parse(stateFaults)
+			if err != nil {
+				return fmt.Errorf("-state-faults: %w", err)
+			}
+			dopts.Faults = faults.DiskFaults(fp)
+		}
+		store, rec, err := durable.Open(stateDir, dopts)
+		if err != nil {
+			// A state dir we cannot even create is a configuration problem,
+			// not a transient fault: fall back to memory-only and say so.
+			logger.Printf("state dir %s unusable (%v); running memory-only", stateDir, err)
+		} else {
+			defer store.Close()
+			logger.Printf("state dir %s: replayed %d journaled jobs (%d corrupt lines skipped)",
+				stateDir, len(rec.Jobs), rec.CorruptLines)
+			if deg, why := store.Degraded(); deg {
+				logger.Printf("durable store degraded at startup: %s", why)
+			}
+			opts.Durable = store
+			opts.Recovered = rec
+		}
 	}
 
 	svc := service.New(opts)

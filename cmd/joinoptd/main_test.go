@@ -148,18 +148,19 @@ func TestServeSmoke(t *testing.T) {
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
-	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
+	// Drain stderr to EOF before calling Wait: Wait closes the pipe, and
+	// reaping first races the reader goroutine out of the final log lines.
+	var daemonLog string
 	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("daemon exited uncleanly: %v", err)
-		}
+	case daemonLog = <-logCh:
 	case <-time.After(60 * time.Second):
 		t.Fatal("daemon did not drain after SIGTERM")
 	}
-	if log := <-logCh; !strings.Contains(log, "drained cleanly") {
-		t.Errorf("daemon log missing drain confirmation:\n%s", log)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly: %v", err)
+	}
+	if !strings.Contains(daemonLog, "drained cleanly") {
+		t.Errorf("daemon log missing drain confirmation:\n%s", daemonLog)
 	}
 	fmt.Fprintln(os.Stderr, "serve-smoke: ok,", len(events), "event bytes")
 }

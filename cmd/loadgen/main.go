@@ -16,6 +16,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -24,18 +25,36 @@ import (
 	"joinopt/internal/service"
 )
 
+// summary is the machine-readable run report behind -json (committed as
+// BENCH_service.json by `make bench-service`).
+type summary struct {
+	Clients       int     `json:"clients"`
+	Tenants       int     `json:"tenants"`
+	JobsCompleted int64   `json:"jobs_completed"`
+	JobsFailed    int64   `json:"jobs_failed"`
+	Rejected429   int64   `json:"rejected_429"`
+	Rate429       float64 `json:"rate_429"` // 429s per submission attempt
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"` // end-to-end submit→done
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	GoodTuples    int64   `json:"good_tuples"`
+	BadTuples     int64   `json:"bad_tuples"`
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", "localhost:8080", "joinoptd address")
-		clients = flag.Int("clients", 4, "concurrent closed-loop clients")
-		jobs    = flag.Int("jobs", 32, "total jobs to submit")
-		tenants = flag.Int("tenants", 1, "spread jobs round-robin over this many tenants")
-		docs    = flag.Int("docs", 500, "workload documents per database")
-		seed    = flag.Int64("seed", 1, "workload generation seed")
-		tauG    = flag.Int("taug", 16, "per-job requirement τg")
-		tauB    = flag.Int("taub", 160, "per-job requirement τb")
-		mode    = flag.String("mode", "adaptive", "job mode: adaptive|optimize")
-		timeout = flag.Duration("timeout", 5*time.Minute, "per-job completion timeout")
+		addr     = flag.String("addr", "localhost:8080", "joinoptd address")
+		clients  = flag.Int("clients", 4, "concurrent closed-loop clients")
+		jobs     = flag.Int("jobs", 32, "total jobs to submit")
+		tenants  = flag.Int("tenants", 1, "spread jobs round-robin over this many tenants")
+		docs     = flag.Int("docs", 500, "workload documents per database")
+		seed     = flag.Int64("seed", 1, "workload generation seed")
+		tauG     = flag.Int("taug", 16, "per-job requirement τg")
+		tauB     = flag.Int("taub", 160, "per-job requirement τb")
+		mode     = flag.String("mode", "adaptive", "job mode: adaptive|optimize")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-job completion timeout")
+		jsonPath = flag.String("json", "", "write a JSON summary (p50/p99 latency, 429 rate, completions) to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -47,6 +66,9 @@ func main() {
 		rejected  atomic.Int64
 		good, bad atomic.Int64
 		wg        sync.WaitGroup
+
+		latMu     sync.Mutex
+		latencies []float64 // ms, completed jobs only
 	)
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
@@ -68,12 +90,16 @@ func main() {
 						Seed:    *seed,
 					},
 				}
+				jobStart := time.Now()
 				res, err := runJob(base, req, *timeout, &rejected)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "loadgen: job %d: %v\n", n, err)
 					failed.Add(1)
 					continue
 				}
+				latMu.Lock()
+				latencies = append(latencies, float64(time.Since(jobStart))/float64(time.Millisecond))
+				latMu.Unlock()
 				done.Add(1)
 				good.Add(int64(res.Good))
 				bad.Add(int64(res.Bad))
@@ -85,9 +111,62 @@ func main() {
 	fmt.Printf("loadgen: %d done, %d failed, %d retried-after-429, %.1f jobs/s, %d good / %d bad tuples total\n",
 		done.Load(), failed.Load(), rejected.Load(),
 		float64(done.Load())/elapsed.Seconds(), good.Load(), bad.Load())
+
+	if *jsonPath != "" {
+		attempts := rejected.Load() + done.Load() + failed.Load()
+		s := summary{
+			Clients:       *clients,
+			Tenants:       *tenants,
+			JobsCompleted: done.Load(),
+			JobsFailed:    failed.Load(),
+			Rejected429:   rejected.Load(),
+			ElapsedSec:    elapsed.Seconds(),
+			JobsPerSec:    float64(done.Load()) / elapsed.Seconds(),
+			LatencyP50Ms:  percentile(latencies, 0.50),
+			LatencyP99Ms:  percentile(latencies, 0.99),
+			GoodTuples:    good.Load(),
+			BadTuples:     bad.Load(),
+		}
+		if attempts > 0 {
+			s.Rate429 = float64(rejected.Load()) / float64(attempts)
+		}
+		if err := writeSummary(*jsonPath, s); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+	}
 	if failed.Load() > 0 {
 		os.Exit(1)
 	}
+}
+
+// percentile returns the nearest-rank q-th percentile of xs in place.
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	i := int(q*float64(len(xs))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}
+
+func writeSummary(path string, s summary) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 // runJob submits one job, retrying 429s per the Retry-After hint, then polls

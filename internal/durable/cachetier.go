@@ -1,0 +1,128 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"joinopt/internal/pipeline"
+	"joinopt/internal/relation"
+)
+
+// cacheEntry is one persisted extraction result. The CRC covers the compact
+// tuples encoding; a mismatch means the entry is discarded, never served —
+// a wrong extraction poisoning a resumed run would be far worse than the
+// re-extraction cost of a miss.
+type cacheEntry struct {
+	CRC    uint32          `json:"crc"`
+	Tuples json.RawMessage `json:"tuples"`
+}
+
+// diskTier persists one workload's extraction cache under
+// cache/<namespace>/, one file per (side, doc, θ) key. It implements
+// pipeline.Tier: a Load miss (absent, unreadable, or corrupt) just falls
+// back to re-extraction, and a Store failure drops the write — the memory
+// tier above is never blocked on disk health.
+type diskTier struct {
+	s   *Store
+	dir string
+}
+
+// CacheTier returns the disk tier for one workload's extraction cache.
+// Namespacing is required because cache keys are (side, doc, θ) within a
+// workload: two workloads with different seeds produce different tuples
+// for the same key, so they must never share files. Returns nil (no tier)
+// when the namespace directory cannot be created.
+func (s *Store) CacheTier(namespace string) pipeline.Tier {
+	if s == nil {
+		return nil
+	}
+	dir := filepath.Join(s.dir, "cache", sanitize(namespace))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.mu.Lock()
+		s.noteFailure("cache", err)
+		s.mu.Unlock()
+		return nil
+	}
+	return &diskTier{s: s, dir: dir}
+}
+
+// sanitize keeps namespaces path-safe.
+func sanitize(ns string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, ns)
+}
+
+// keyFile names one cache entry. θ enters as its exact bit pattern: the
+// cache key is the float, and two θs that differ in the last ulp are
+// different extractions.
+func (t *diskTier) keyFile(k pipeline.Key) string {
+	return filepath.Join(t.dir, fmt.Sprintf("s%d_d%d_t%016x", k.Side, k.DocID, math.Float64bits(k.Theta)))
+}
+
+// Load implements pipeline.Tier: read back one entry, verify its checksum,
+// and decode. Anything suspect is counted (op=cache), the file removed, and
+// a miss reported — the engine re-extracts and overwrites it.
+func (t *diskTier) Load(k pipeline.Key) ([]relation.Tuple, bool) {
+	path := t.keyFile(k)
+	data, err := t.s.readBack(path)
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.reject(path)
+		return nil, false
+	}
+	if crc(compactJSON(e.Tuples)) != e.CRC {
+		t.reject(path)
+		return nil, false
+	}
+	var tuples []relation.Tuple
+	if err := json.Unmarshal(e.Tuples, &tuples); err != nil {
+		t.reject(path)
+		return nil, false
+	}
+	return tuples, true
+}
+
+// reject discards a cache entry that failed verification. Unlike snapshot
+// corruption this does not degrade the store: cache entries are individually
+// disposable and the fallback (re-extraction) is the normal miss path.
+func (t *diskTier) reject(path string) {
+	t.s.errsC("cache")
+	os.Remove(path)
+}
+
+// Store implements pipeline.Tier: write-through one entry atomically.
+// Failures are dropped (op=cache) — the in-memory copy is already serving.
+func (t *diskTier) Store(k pipeline.Key, tuples []relation.Tuple) {
+	t.s.mu.Lock()
+	blocked := t.s.frozen || t.s.degraded
+	t.s.mu.Unlock()
+	if blocked {
+		return
+	}
+	enc, err := json.Marshal(tuples)
+	if err != nil {
+		return
+	}
+	data, err := json.Marshal(cacheEntry{CRC: crc(enc), Tuples: enc})
+	if err != nil {
+		return
+	}
+	if err := t.s.writeFileAtomic(t.keyFile(k), data, false); err != nil {
+		t.s.mu.Lock()
+		t.s.noteFailure("cache", err)
+		t.s.mu.Unlock()
+	}
+}

@@ -1,0 +1,127 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// envelopeVersion is the snapshot-store wire version. Bumping it obsoletes
+// persisted snapshots: a reader that sees a different version discards the
+// file (the checkpoint inside carries its own codec version on top).
+const envelopeVersion = 1
+
+// envelope wraps every persisted snapshot payload: version gate plus a CRC
+// over the compact payload bytes. The payload is opaque to the store — the
+// checkpoint codec and the JobResult encoding live with their owners.
+type envelope struct {
+	Version int             `json:"version"`
+	CRC     uint32          `json:"crc"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+func (s *Store) checkpointPath(id string) string {
+	return filepath.Join(s.dir, "snapshots", id+".ckpt")
+}
+
+func (s *Store) resultPath(id string) string {
+	return filepath.Join(s.dir, "snapshots", id+".result")
+}
+
+// SaveCheckpoint persists a job's latest adaptive checkpoint (the wire
+// bytes of its codec encoding), atomically replacing any previous one — a
+// reader sees the old checkpoint or the new one, never a splice. Failures
+// are absorbed (op=snapshot) like every write path.
+func (s *Store) SaveCheckpoint(id string, payload []byte) {
+	if s == nil {
+		return
+	}
+	s.save(s.checkpointPath(id), payload)
+}
+
+// SaveResult persists a finished job's result encoding, so a restarted
+// daemon serves completed jobs without re-running them.
+func (s *Store) SaveResult(id string, payload []byte) {
+	if s == nil {
+		return
+	}
+	s.save(s.resultPath(id), payload)
+}
+
+func (s *Store) save(path string, payload []byte) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen || s.degraded {
+		return
+	}
+	data, err := json.Marshal(envelope{Version: envelopeVersion, CRC: crc(compactJSON(payload)), Payload: payload})
+	if err != nil {
+		s.noteFailure("snapshot", err)
+		return
+	}
+	if err := s.writeFileAtomic(path, data, true); err != nil {
+		s.noteFailure("snapshot", err)
+		return
+	}
+	s.noteSuccess()
+}
+
+// LoadCheckpoint returns the persisted checkpoint payload of a job, or
+// false when none exists or the file fails its checksum. Corrupt snapshots
+// are never trusted: the payload is discarded, the failure counted, and the
+// store marked degraded — the caller re-runs from scratch instead.
+func (s *Store) LoadCheckpoint(id string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	return s.load(s.checkpointPath(id))
+}
+
+// LoadResult returns the persisted result payload of a finished job under
+// the same contract as LoadCheckpoint.
+func (s *Store) LoadResult(id string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	return s.load(s.resultPath(id))
+}
+
+func (s *Store) load(path string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	data, err := s.readBack(path)
+	if err != nil {
+		return nil, false // absent is the common, silent case
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		s.rejectSnapshot(path, "unparseable")
+		return nil, false
+	}
+	if env.Version != envelopeVersion {
+		s.rejectSnapshot(path, fmt.Sprintf("version %d", env.Version))
+		return nil, false
+	}
+	if crc(compactJSON(env.Payload)) != env.CRC {
+		s.rejectSnapshot(path, "checksum mismatch")
+		return nil, false
+	}
+	return env.Payload, true
+}
+
+// rejectSnapshot records a snapshot that failed verification: counted,
+// deleted (so the damage is not re-detected forever), and the store flagged
+// degraded — checksum failures mean the disk is silently lying, which is
+// worth surfacing on /readyz even though operation continues.
+func (s *Store) rejectSnapshot(path, why string) {
+	s.errsC("snapshot")
+	os.Remove(path)
+	s.mu.Lock()
+	s.degrade(fmt.Sprintf("snapshot %s rejected: %s", filepath.Base(path), why))
+	s.mu.Unlock()
+}

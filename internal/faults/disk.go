@@ -1,0 +1,116 @@
+package faults
+
+import "sync"
+
+// The injectable durable-layer operations. Disk faults have no side
+// dimension — the journal, snapshot store, and cache tier share one disk —
+// so their streams are keyed with side 0.
+const (
+	OpDiskWrite   Op = "dwrite"   // journal append / snapshot write
+	OpDiskSync    Op = "dsync"    // fsync of a journal or snapshot file
+	OpDiskCorrupt Op = "dcorrupt" // silent bit rot on a read-back
+)
+
+// DiskSpec bundles the fault specs of the three durable-layer operations.
+type DiskSpec struct {
+	// Write governs write/append/rename failures.
+	Write Spec
+	// Sync governs fsync failures.
+	Sync Spec
+	// Corrupt governs silent corruption: the read succeeds but one bit of
+	// the returned payload is flipped, exercising the checksum paths.
+	Corrupt Spec
+}
+
+func (d DiskSpec) enabled() bool {
+	return d.Write.enabled() || d.Sync.enabled() || d.Corrupt.enabled()
+}
+
+// DiskInjector is the deterministic fault stream of the durable layer. A nil
+// injector is valid and injects nothing, so callers thread it unconditionally.
+// Unlike the substrate injectors it is safe for concurrent use: the durable
+// store serves journal appends and cache-tier IO from multiple goroutines,
+// and per-call determinism only requires that each call consumes exactly one
+// stream position, not that callers serialize themselves.
+type DiskInjector struct {
+	mu      sync.Mutex
+	write   injector
+	sync    injector
+	corrupt injector
+}
+
+// DiskFaults returns the profile's durable-layer injector, or nil when the
+// profile is nil or injects no disk faults.
+func DiskFaults(p *Profile) *DiskInjector {
+	if p == nil || !p.Disk.enabled() {
+		return nil
+	}
+	return &DiskInjector{
+		write:   newInjector(p.Seed, OpDiskWrite, 0, p.Disk.Write),
+		sync:    newInjector(p.Seed, OpDiskSync, 0, p.Disk.Sync),
+		corrupt: newInjector(p.Seed, OpDiskCorrupt, 0, p.Disk.Corrupt),
+	}
+}
+
+// Write returns an injected error for the next write-class operation, or nil.
+func (d *DiskInjector) Write() error {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	dec := d.write.next()
+	d.mu.Unlock()
+	if dec.fault {
+		return &Error{Op: OpDiskWrite, Call: dec.call, Transient: !dec.permanent}
+	}
+	return nil
+}
+
+// Sync returns an injected error for the next fsync, or nil.
+func (d *DiskInjector) Sync() error {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	dec := d.sync.next()
+	d.mu.Unlock()
+	if dec.fault {
+		return &Error{Op: OpDiskSync, Call: dec.call, Transient: !dec.permanent}
+	}
+	return nil
+}
+
+// Corrupt flips one deterministically-chosen bit of b in place when the
+// corruption stream fires, returning whether it did. Empty payloads are
+// never touched. The flipped position depends only on (stream, call), so a
+// corrupted read-back is reproducible byte-for-byte.
+func (d *DiskInjector) Corrupt(b []byte) bool {
+	if d == nil || len(b) == 0 {
+		return false
+	}
+	d.mu.Lock()
+	dec := d.corrupt.next()
+	d.mu.Unlock()
+	if !dec.fault {
+		return false
+	}
+	bit := mix64(d.corrupt.stream^mix64(uint64(dec.call)+0x632be59bd9b4e019)) % uint64(len(b)*8)
+	b[bit/8] ^= 1 << (bit % 8)
+	return true
+}
+
+// Counts reports the injected durable-layer behaviour so far: write and sync
+// faults combined, with corruptions under Truncated (payloads degraded, not
+// failed — the same distinction FaultyDB draws).
+func (d *DiskInjector) Counts() Counts {
+	if d == nil {
+		return Counts{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := d.write.counts
+	c.Faults += d.sync.counts.Faults
+	c.ExtraCost += d.sync.counts.ExtraCost
+	c.Truncated += d.corrupt.counts.Faults
+	return c
+}

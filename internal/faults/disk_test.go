@@ -1,0 +1,153 @@
+package faults
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestDiskFaultsNilAndZero(t *testing.T) {
+	if d := DiskFaults(nil); d != nil {
+		t.Fatal("nil profile should yield nil injector")
+	}
+	if d := DiskFaults(&Profile{Seed: 3}); d != nil {
+		t.Fatal("disk-less profile should yield nil injector")
+	}
+	var d *DiskInjector
+	if err := d.Write(); err != nil {
+		t.Fatalf("nil injector Write = %v", err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatalf("nil injector Sync = %v", err)
+	}
+	b := []byte("payload")
+	if d.Corrupt(b) {
+		t.Fatal("nil injector corrupted payload")
+	}
+	if d.Counts() != (Counts{}) {
+		t.Fatal("nil injector counts non-zero")
+	}
+}
+
+func TestDiskParseRoundTrip(t *testing.T) {
+	p, err := Parse("seed=11,dwrite=0.5,dsync=0.25,dcorrupt=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Zero() {
+		t.Fatal("disk profile reported Zero")
+	}
+	if p.Disk.Write.Prob != 0.5 || p.Disk.Sync.Prob != 0.25 || p.Disk.Corrupt.Prob != 1 {
+		t.Fatalf("parsed disk spec = %+v", p.Disk)
+	}
+	if DiskFaults(p) == nil {
+		t.Fatal("enabled disk profile yielded nil injector")
+	}
+}
+
+func TestDiskInjectorDeterministic(t *testing.T) {
+	prof := &Profile{Seed: 42, Disk: DiskSpec{
+		Write:   Spec{Prob: 0.3, Burst: 2},
+		Sync:    Spec{Prob: 0.3, Permanent: true},
+		Corrupt: Spec{Prob: 0.5},
+	}}
+	run := func() ([]bool, []bool, [][]byte) {
+		d := DiskFaults(prof)
+		var writes, syncs []bool
+		var payloads [][]byte
+		for i := 0; i < 200; i++ {
+			writes = append(writes, d.Write() != nil)
+			syncs = append(syncs, d.Sync() != nil)
+			b := []byte("abcdefgh")
+			d.Corrupt(b)
+			payloads = append(payloads, b)
+		}
+		return writes, syncs, payloads
+	}
+	w1, s1, c1 := run()
+	w2, s2, c2 := run()
+	faults, corruptions := 0, 0
+	for i := range w1 {
+		if w1[i] != w2[i] || s1[i] != s2[i] {
+			t.Fatalf("call %d verdicts differ across identical runs", i)
+		}
+		if !bytes.Equal(c1[i], c2[i]) {
+			t.Fatalf("call %d corruption differs: %q vs %q", i, c1[i], c2[i])
+		}
+		if w1[i] || s1[i] {
+			faults++
+		}
+		if !bytes.Equal(c1[i], []byte("abcdefgh")) {
+			corruptions++
+		}
+	}
+	if faults == 0 || corruptions == 0 {
+		t.Fatalf("expected injected activity, got faults=%d corruptions=%d", faults, corruptions)
+	}
+}
+
+func TestDiskInjectorErrorKinds(t *testing.T) {
+	d := DiskFaults(&Profile{Seed: 1, Disk: DiskSpec{
+		Write: Spec{Prob: 1},
+		Sync:  Spec{Prob: 1, Permanent: true},
+	}})
+	werr, ok := d.Write().(*Error)
+	if !ok || werr.Op != OpDiskWrite || !werr.Temporary() {
+		t.Fatalf("Write error = %#v", werr)
+	}
+	serr, ok := d.Sync().(*Error)
+	if !ok || serr.Op != OpDiskSync || serr.Temporary() {
+		t.Fatalf("Sync error = %#v", serr)
+	}
+	c := d.Counts()
+	if c.Faults != 2 {
+		t.Fatalf("Counts.Faults = %d, want 2", c.Faults)
+	}
+}
+
+func TestDiskCorruptFlipsExactlyOneBit(t *testing.T) {
+	d := DiskFaults(&Profile{Seed: 5, Disk: DiskSpec{Corrupt: Spec{Prob: 1}}})
+	orig := []byte("checksummed entry payload")
+	b := append([]byte(nil), orig...)
+	if !d.Corrupt(b) {
+		t.Fatal("prob=1 corruption did not fire")
+	}
+	diff := 0
+	for i := range b {
+		x := b[i] ^ orig[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bits, want exactly 1", diff)
+	}
+	if d.Corrupt(nil) {
+		t.Fatal("empty payload corrupted")
+	}
+	if c := d.Counts(); c.Truncated < 1 {
+		t.Fatalf("Counts.Truncated = %d, want >= 1", c.Truncated)
+	}
+}
+
+func TestDiskInjectorConcurrentSafety(t *testing.T) {
+	d := DiskFaults(&Profile{Seed: 9, Disk: DiskSpec{
+		Write:   Spec{Prob: 0.5},
+		Sync:    Spec{Prob: 0.5},
+		Corrupt: Spec{Prob: 0.5},
+	}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d.Write()
+				d.Sync()
+				d.Corrupt([]byte{0xAA, 0xBB})
+			}
+		}()
+	}
+	wg.Wait()
+	d.Counts()
+}

@@ -59,6 +59,7 @@ type Profile struct {
 	Next     [2]Spec
 	Classify [2]Spec
 	Truncate [2]Spec
+	Disk     DiskSpec
 }
 
 // Uniform returns a profile injecting transient single-call faults at rate
@@ -82,12 +83,12 @@ func (p *Profile) Zero() bool {
 			return false
 		}
 	}
-	return true
+	return !p.Disk.enabled()
 }
 
 // parseKeys lists every key Parse accepts, in documentation order. It feeds
 // both the unknown-key error and FlagHelp so the two can never drift apart.
-var parseKeys = []string{"seed", "rate", "fetch", "next", "classify", "trunc", "stall", "cost", "burst", "permanent"}
+var parseKeys = []string{"seed", "rate", "fetch", "next", "classify", "trunc", "stall", "cost", "burst", "permanent", "dwrite", "dsync", "dcorrupt"}
 
 // FlagHelp is the canonical help text for a -faults flag wired to Parse.
 // Every CLI exposing the knob uses it verbatim, so the accepted vocabulary
@@ -105,13 +106,16 @@ var FlagHelp = "fault-injection profile: comma-separated key=value pairs with ke
 // sides; fetch=, next=, and classify= override it per operation. trunc is
 // the document-truncation probability, cost the injected latency per
 // faulted or stalled call, and permanent switches faults from transient to
-// permanent. An empty string returns nil (no injection).
+// permanent. dwrite, dsync, and dcorrupt set the durable-layer disk fault
+// probabilities (write/rename failures, fsync failures, silent bit rot on
+// read-back). An empty string returns nil (no injection).
 func Parse(s string) (*Profile, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil
 	}
 	p := &Profile{}
 	var rate, fetch, next, classify, trunc, stall, cost float64
+	var dwrite, dsync, dcorrupt float64
 	fetch, next, classify = -1, -1, -1
 	burst := 1
 	permanent := false
@@ -143,6 +147,12 @@ func Parse(s string) (*Profile, error) {
 			burst, err = strconv.Atoi(val)
 		case "permanent":
 			permanent, err = strconv.ParseBool(val)
+		case "dwrite":
+			dwrite, err = strconv.ParseFloat(val, 64)
+		case "dsync":
+			dsync, err = strconv.ParseFloat(val, 64)
+		case "dcorrupt":
+			dcorrupt, err = strconv.ParseFloat(val, 64)
 		default:
 			return nil, fmt.Errorf("faults: unknown profile key %q (accepted keys: %s)", key, strings.Join(parseKeys, ", "))
 		}
@@ -161,6 +171,11 @@ func Parse(s string) (*Profile, error) {
 		p.Next[i] = Spec{Prob: pick(next), Burst: burst, Permanent: permanent, ExtraCost: cost, StallProb: stall}
 		p.Classify[i] = Spec{Prob: pick(classify), Burst: burst, Permanent: permanent, ExtraCost: cost, StallProb: stall}
 		p.Truncate[i] = Spec{Prob: trunc, Burst: 1, ExtraCost: cost}
+	}
+	p.Disk = DiskSpec{
+		Write:   Spec{Prob: dwrite, Burst: burst, Permanent: permanent},
+		Sync:    Spec{Prob: dsync, Burst: burst, Permanent: permanent},
+		Corrupt: Spec{Prob: dcorrupt, Burst: 1},
 	}
 	return p, nil
 }

@@ -89,6 +89,14 @@ type State struct {
 	// Time is the cost-model execution time accumulated so far.
 	Time float64
 
+	// CacheSaved is the extraction time (tE) per side that cache hits made
+	// free. Time + ΣCacheSaved is invariant under cache warmth: a replay
+	// that hits the cache where the original run missed (or vice versa —
+	// e.g. a resume against a disk-warmed cache after a restart) bills a
+	// different Time but the identical invariant sum, which is what
+	// Snapshot/Restore verify.
+	CacheSaved [2]float64
+
 	// Steps counts Executor.Step invocations — the replay coordinate of
 	// Snapshot/Restore.
 	Steps int
@@ -343,7 +351,9 @@ func processDoc(st *State, i int, s *Side, docID int) ([]relation.Tuple, error) 
 		tuples = s.System.Extract(doc.Text, s.Theta)
 	}
 	st.DocsProcessed[i]++
-	if !hit {
+	if hit {
+		st.CacheSaved[i] += s.Costs.TE
+	} else {
 		st.Time += s.Costs.TE
 	}
 	st.Metrics.Processed(i)

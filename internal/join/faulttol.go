@@ -225,6 +225,12 @@ type Snapshot struct {
 	Steps int
 	Time  float64
 
+	// CacheSaved mirrors State.CacheSaved: the per-side extraction time
+	// cache hits made free. Time + ΣCacheSaved is invariant under cache
+	// warmth, so Restore can verify a replay whose hit/miss pattern differs
+	// from the original run's (a resume over a warmer — or colder — cache).
+	CacheSaved [2]float64
+
 	GoodPairs int
 	BadPairs  int
 	JoinSize  int
@@ -245,6 +251,7 @@ func (st *State) Snapshot() Snapshot {
 	return Snapshot{
 		Steps:         st.Steps,
 		Time:          st.Time,
+		CacheSaved:    st.CacheSaved,
 		GoodPairs:     st.GoodPairs,
 		BadPairs:      st.BadPairs,
 		JoinSize:      st.Result.Size(),
@@ -261,20 +268,33 @@ func (st *State) Snapshot() Snapshot {
 
 // Restore verifies that st — typically produced by replaying snap.Steps
 // steps of an identically-constructed executor — matches the snapshot, and
-// adopts the snapshot's recorded time verbatim (replayed float accumulation
-// can differ in the last bits). It returns an error describing the first
-// divergence found.
+// adopts the snapshot's recorded time and cache accounting verbatim
+// (replayed float accumulation can differ in the last bits). It returns an
+// error describing the first divergence found.
+//
+// Time itself is not compared directly: a replay may run against a cache
+// warmer or colder than the original run saw (the shared cache keeps every
+// entry the interrupted prefix put, and a disk tier survives restarts), so
+// its hit/miss pattern — and with it the billed Time — can legitimately
+// differ. What must match is the warmth-invariant total Time + ΣCacheSaved:
+// every other counter, and the extracted tuples themselves, are identical
+// regardless of where the extraction bytes came from. Adopting the
+// snapshot's Time afterwards makes the resumed run bill exactly what the
+// uninterrupted run would have.
 func (st *State) Restore(snap Snapshot) error {
 	got := st.Snapshot()
-	relTol := math.Abs(snap.Time) * 1e-6
-	if math.Abs(got.Time-snap.Time) > relTol+1e-9 {
-		return fmt.Errorf("join: restore diverged: time %.6f != snapshot %.6f", got.Time, snap.Time)
+	gotInv := got.Time + got.CacheSaved[0] + got.CacheSaved[1]
+	snapInv := snap.Time + snap.CacheSaved[0] + snap.CacheSaved[1]
+	relTol := math.Abs(snapInv) * 1e-6
+	if math.Abs(gotInv-snapInv) > relTol+1e-9 {
+		return fmt.Errorf("join: restore diverged: cache-invariant time %.6f != snapshot %.6f", gotInv, snapInv)
 	}
-	got.Time = snap.Time
+	got.Time, got.CacheSaved = snap.Time, snap.CacheSaved
 	if got != snap {
 		return fmt.Errorf("join: restore diverged: replayed %+v != snapshot %+v", got, snap)
 	}
 	st.Time = snap.Time
+	st.CacheSaved = snap.CacheSaved
 	return nil
 }
 

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromDurableCountersConformance pins the durable-layer series to the
+// Prometheus text-format contract alongside the existing families: TYPE
+// comment, HELP comment, sorted labelled series, integer rendering.
+func TestPromDurableCountersConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Describe(MetricJobsRecovered, "jobs recovered across a daemon restart")
+	r.Describe(MetricDurableErrs, "durable-store failures absorbed by degrading")
+	r.Counter(Series(MetricJobsRecovered, "how", "resumed")).Inc()
+	r.Counter(Series(MetricJobsRecovered, "how", "requeued")).Add(2)
+	r.Counter(Series(MetricDurableErrs, "op", "append")).Add(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := []string{
+		`# HELP joinopt_durable_errors_total durable-store failures absorbed by degrading`,
+		`# TYPE joinopt_durable_errors_total counter`,
+		`joinopt_durable_errors_total{op="append"} 3`,
+		`# HELP joinopt_jobs_recovered_total jobs recovered across a daemon restart`,
+		`# TYPE joinopt_jobs_recovered_total counter`,
+		`joinopt_jobs_recovered_total{how="requeued"} 2`,
+		`joinopt_jobs_recovered_total{how="resumed"} 1`,
+	}
+	for _, w := range want {
+		if !strings.Contains(got, w+"\n") && !strings.HasSuffix(got, w) {
+			t.Errorf("missing exposition line %q in:\n%s", w, got)
+		}
+	}
+	for i := range want[:len(want)-1] {
+		if strings.Index(got, want[i]) > strings.Index(got, want[i+1]) {
+			t.Errorf("lines out of order: %q should precede %q", want[i], want[i+1])
+		}
+	}
+}

@@ -42,6 +42,13 @@ const (
 	MetricRunDegraded     = "joinopt_run_degraded"
 	MetricRunDeadlineHit  = "joinopt_run_deadline_hit"
 	MetricRunPlanSwitches = "joinopt_run_plan_switches"
+
+	// Durable-layer series: jobs recovered across a daemon restart (by how —
+	// requeued, resumed, completed-result served) and durable-store failures
+	// absorbed by degrading to memory-only operation (by op — append, sync,
+	// snapshot, cache, replay).
+	MetricJobsRecovered = "joinopt_jobs_recovered_total"
+	MetricDurableErrs   = "joinopt_durable_errors_total"
 )
 
 // sideSeries renders `family{side="i+1"}` (side is 0-based internally,

@@ -96,6 +96,17 @@ type Options struct {
 	// the pilot and at every adaptive checkpoint (0 = one worker per CPU,
 	// 1 = sequential; see Inputs.Workers).
 	ChooseWorkers int
+
+	// Persist, when set, receives a fresh resumable checkpoint at every
+	// protocol transition the driver can later resume from: loop entry
+	// (plan chosen or replay complete), a checkpoint decision committing to
+	// the current plan, a plan switch, and each finish-phase round. A crash
+	// after any of these points can resume from the persisted checkpoint
+	// and — execution being deterministic — finish with the identical
+	// result. The callback runs synchronously on the driver goroutine and
+	// must treat the checkpoint as read-only (its Inputs are shared with
+	// the live run).
+	Persist func(*Checkpoint)
 }
 
 func (o *Options) defaults() {
@@ -282,6 +293,11 @@ func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, 
 	interrupted := func(err error) bool {
 		return err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err())
 	}
+	persist := func(c *Checkpoint) {
+		if opts.Persist != nil {
+			opts.Persist(c)
+		}
+	}
 	checkpointed := func(phase Phase, target [2]int, ext int, prev [2]int) *Checkpoint {
 		return &Checkpoint{
 			Phase:          phase,
@@ -304,11 +320,12 @@ func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, 
 		om.Phase("execute", exec.State().Time, time.Since(phaseStart).Seconds())
 		phaseStart = time.Now()
 		t0 := exec.State().Time
-		r, ferr := env.finishFrom(ctx, res, exec, best, req, target, ext, prev, inRun, checkpointed)
+		r, ferr := env.finishFrom(ctx, res, exec, best, req, target, ext, prev, inRun, checkpointed, persist)
 		om.Phase("finish", exec.State().Time-t0, time.Since(phaseStart).Seconds())
 		return r, ferr
 	}
 
+	persist(checkpointed(ck.Phase, ck.Target, ck.Ext, ck.Prev))
 	if ck.Phase == PhaseFinish {
 		return finish(ck.Target, ck.Ext, ck.Prev, true)
 	}
@@ -377,6 +394,7 @@ func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, 
 					"plan": best.Plan.String(), "effort1": best.Effort[0], "effort2": best.Effort[1], "predicted_time": best.Time})
 			}
 			committed = true
+			persist(checkpointed(PhaseCommitted, [2]int{}, 0, [2]int{}))
 			continue
 		}
 		// Switch: bill the abandoned work and restart with the new plan.
@@ -390,6 +408,7 @@ func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, 
 		if exec, err = env.NewExecutor(best.Plan); err != nil {
 			return res, fmt.Errorf("optimizer: building %s: %w", best.Plan, err)
 		}
+		persist(checkpointed(PhaseExecute, [2]int{}, 0, [2]int{}))
 	}
 }
 
@@ -462,7 +481,7 @@ func PilotEstimate(env *Env, opts Options) (*Inputs, *join.State, error) {
 // checkpointed target, extension round, and stall snapshot.
 func (env *Env) finishFrom(ctx context.Context, res *Result, exec join.Executor, best Eval, req Requirement,
 	target [2]int, ext int, prev [2]int, inRun bool,
-	checkpointed func(Phase, [2]int, int, [2]int) *Checkpoint) (*Result, error) {
+	checkpointed func(Phase, [2]int, int, [2]int) *Checkpoint, persist func(*Checkpoint)) (*Result, error) {
 	for ; ext < 5; ext++ {
 		if !inRun {
 			good, bad := env.achieved(exec.State(), best.Plan)
@@ -483,6 +502,7 @@ func (env *Env) finishFrom(ctx context.Context, res *Result, exec join.Executor,
 				}
 			}
 			prev = progressSnapshot(best.Plan, exec.State())
+			persist(checkpointed(PhaseFinish, target, ext, prev))
 		}
 		inRun = false
 		if _, err := join.RunCtx(ctx, exec, func(s *join.State) bool {

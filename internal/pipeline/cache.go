@@ -39,6 +39,21 @@ type CacheStats struct {
 	Evictions int64
 	Bytes     int64
 	Entries   int
+	// TierHits is the subset of Hits served by the second tier (entries not
+	// resident in memory at lookup time — warmed lazily from disk).
+	TierHits int64
+}
+
+// Tier is a second cache level behind the in-memory LRU — typically a disk
+// store surviving process restarts. Load returns the tuples persisted for a
+// key; Store persists them. Both are best-effort: a tier that fails (or
+// distrusts what it read back) simply reports a miss or drops the write —
+// the memory tier keeps working either way. Implementations must be safe
+// for concurrent use; returned slices must not be modified by the tier
+// afterwards.
+type Tier interface {
+	Load(k Key) ([]relation.Tuple, bool)
+	Store(k Key, tuples []relation.Tuple)
 }
 
 // entry is one cached extraction with its byte-size estimate.
@@ -62,7 +77,9 @@ type Cache struct {
 	byKey    map[Key]*list.Element
 	bytes    int64
 
-	hits, misses, evictions int64
+	hits, misses, evictions, tierHits int64
+
+	tier Tier
 }
 
 // NewCache builds an extraction cache holding at most maxBytes of estimated
@@ -85,21 +102,77 @@ func entryBytes(tuples []relation.Tuple) int64 {
 	return b
 }
 
-// Get returns the cached tuples for k, counting the hit or miss.
+// SetTier attaches (or, with nil, detaches) a second cache level consulted
+// on memory misses and written through on Put. Attach before executions
+// start sharing the cache; the tier pointer itself is then read-only.
+func (c *Cache) SetTier(t Tier) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tier = t
+}
+
+// Get returns the cached tuples for k, counting the hit or miss. A memory
+// miss falls through to the tier (outside the lock — tier IO must not stall
+// other executions); a tier hit is installed into the memory LRU and counts
+// as a hit, so lazily warmed entries surface in the ordinary hit metrics.
 func (c *Cache) Get(k Key) ([]relation.Tuple, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.byKey[k]
+	if ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		tuples := el.Value.(*entry).tuples
+		c.mu.Unlock()
+		return tuples, true
+	}
+	tier := c.tier
+	if tier == nil {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Unlock()
+	tuples, ok := tier.Load(k)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if !ok {
 		c.misses++
 		return nil, false
 	}
 	c.hits++
-	c.lru.MoveToFront(el)
-	return el.Value.(*entry).tuples, true
+	c.tierHits++
+	// Another execution may have installed k while the lock was dropped;
+	// install dedupes on key either way.
+	if el, ok := c.byKey[k]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*entry).tuples, true
+	}
+	c.install(k, tuples)
+	return tuples, true
+}
+
+// install inserts k's tuples into the memory LRU, evicting past the byte
+// bound. Callers hold c.mu.
+func (c *Cache) install(k Key, tuples []relation.Tuple) (evicted int) {
+	e := &entry{key: k, tuples: tuples, bytes: entryBytes(tuples)}
+	c.byKey[k] = c.lru.PushFront(e)
+	c.bytes += e.bytes
+	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		old := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.byKey, old.key)
+		c.bytes -= old.bytes
+		c.evictions++
+		evicted++
+	}
+	return evicted
 }
 
 // Contains reports whether k is cached without touching the hit/miss
@@ -119,28 +192,24 @@ func (c *Cache) Contains(k Key) bool {
 // byte bound, and returns how many entries were evicted. An oversized
 // single entry is still admitted (and evicts everything else), so the
 // hottest document is never un-cacheable. Re-putting an existing key
-// refreshes its recency.
+// refreshes its recency. Inserts write through to the tier (outside the
+// lock), so a restart can warm from everything ever paid for — eviction
+// only sheds the memory copy.
 func (c *Cache) Put(k Key, tuples []relation.Tuple) (evicted int) {
 	if c == nil {
 		return 0
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.byKey[k]; ok {
 		c.lru.MoveToFront(el)
+		c.mu.Unlock()
 		return 0
 	}
-	e := &entry{key: k, tuples: tuples, bytes: entryBytes(tuples)}
-	c.byKey[k] = c.lru.PushFront(e)
-	c.bytes += e.bytes
-	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
-		back := c.lru.Back()
-		old := back.Value.(*entry)
-		c.lru.Remove(back)
-		delete(c.byKey, old.key)
-		c.bytes -= old.bytes
-		c.evictions++
-		evicted++
+	evicted = c.install(k, tuples)
+	tier := c.tier
+	c.mu.Unlock()
+	if tier != nil {
+		tier.Store(k, tuples)
 	}
 	return evicted
 }
@@ -154,7 +223,7 @@ func (c *Cache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	return CacheStats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		Bytes: c.bytes, Entries: c.lru.Len(),
+		Bytes: c.bytes, Entries: c.lru.Len(), TierHits: c.tierHits,
 	}
 }
 

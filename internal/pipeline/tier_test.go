@@ -1,0 +1,120 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"joinopt/internal/relation"
+)
+
+// fakeTier is an in-memory Tier with call accounting.
+type fakeTier struct {
+	mu     sync.Mutex
+	m      map[Key][]relation.Tuple
+	loads  int
+	stores int
+}
+
+func newFakeTier() *fakeTier { return &fakeTier{m: map[Key][]relation.Tuple{}} }
+
+func (f *fakeTier) Load(k Key) ([]relation.Tuple, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loads++
+	t, ok := f.m[k]
+	return t, ok
+}
+
+func (f *fakeTier) Store(k Key, tuples []relation.Tuple) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stores++
+	f.m[k] = tuples
+}
+
+func TestCacheTierWriteThroughAndLazyWarm(t *testing.T) {
+	tier := newFakeTier()
+	c := NewCache(1 << 20)
+	c.SetTier(tier)
+
+	k := Key{Side: 0, DocID: 7, Theta: 0.4}
+	tuples := []relation.Tuple{{A1: "acme", A2: "boston"}}
+	c.Put(k, tuples)
+	if tier.stores != 1 {
+		t.Fatalf("stores = %d, want 1 (write-through)", tier.stores)
+	}
+	if got, ok := c.Get(k); !ok || len(got) != 1 {
+		t.Fatal("memory hit lost")
+	}
+	if tier.loads != 0 {
+		t.Fatalf("memory hit consulted the tier (%d loads)", tier.loads)
+	}
+
+	// A fresh cache over the same tier — the restart case: first Get warms
+	// from the tier and counts as a hit, the second is served from memory.
+	warm := NewCache(1 << 20)
+	warm.SetTier(tier)
+	if got, ok := warm.Get(k); !ok || len(got) != 1 || got[0] != tuples[0] {
+		t.Fatalf("tier warm-up Get = %v, %v", got, ok)
+	}
+	if loads := tier.loads; loads != 1 {
+		t.Fatalf("loads = %d, want 1", loads)
+	}
+	if _, ok := warm.Get(k); !ok {
+		t.Fatal("warmed entry not resident")
+	}
+	if tier.loads != 1 {
+		t.Fatalf("second Get consulted the tier again (%d loads)", tier.loads)
+	}
+	s := warm.Stats()
+	if s.Hits != 2 || s.Misses != 0 || s.TierHits != 1 {
+		t.Fatalf("stats = %+v, want 2 hits (1 from tier), 0 misses", s)
+	}
+
+	// A key in neither level is a single miss, after consulting the tier.
+	if _, ok := warm.Get(Key{Side: 1, DocID: 99, Theta: 0.8}); ok {
+		t.Fatal("phantom hit")
+	}
+	if s := warm.Stats(); s.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", s.Misses)
+	}
+}
+
+func TestCacheTierEvictionKeepsTierCopy(t *testing.T) {
+	tier := newFakeTier()
+	c := NewCache(200) // fits one entry and change
+	c.SetTier(tier)
+	k1 := Key{DocID: 1, Theta: 0.4}
+	k2 := Key{DocID: 2, Theta: 0.4}
+	c.Put(k1, []relation.Tuple{{A1: "one-long-value", A2: "another-long-value"}})
+	c.Put(k2, []relation.Tuple{{A1: "two-long-value", A2: "another-long-value"}})
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Fatalf("expected eviction under the byte bound, stats %+v", s)
+	}
+	// The evicted entry is still one tier load away.
+	if got, ok := c.Get(k1); !ok || len(got) != 1 {
+		t.Fatal("evicted entry not recoverable from tier")
+	}
+	if s := c.Stats(); s.TierHits != 1 {
+		t.Fatalf("TierHits = %d, want 1", s.TierHits)
+	}
+}
+
+func TestCacheNilAndTierlessUnchanged(t *testing.T) {
+	var nilCache *Cache
+	nilCache.SetTier(newFakeTier())
+	if _, ok := nilCache.Get(Key{}); ok {
+		t.Fatal("nil cache hit")
+	}
+	c := NewCache(1 << 10)
+	c.Put(Key{DocID: 3}, nil)
+	if _, ok := c.Get(Key{DocID: 3}); !ok {
+		t.Fatal("tierless cache lost its entry")
+	}
+	if _, ok := c.Get(Key{DocID: 4}); ok {
+		t.Fatal("tierless phantom hit")
+	}
+	if s := c.Stats(); s.TierHits != 0 {
+		t.Fatalf("TierHits = %d on tierless cache", s.TierHits)
+	}
+}

@@ -1,0 +1,348 @@
+package service_test
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"joinopt/internal/durable"
+	"joinopt/internal/obs"
+	"joinopt/internal/service"
+)
+
+// crashSpec is the workload the recovery tests share; its requirement is
+// deep enough that a run is reliably still in flight after a few dozen
+// documents.
+var crashSpec = service.WorkloadSpec{NumDocs: 400, Seed: 7}
+
+const (
+	crashTauG = 8
+	crashTauB = 200
+)
+
+// freezer is a TraceSink that freezes a durable store n documents after the
+// optimizer commits to a plan — the deterministic stand-in for yanking
+// power mid-execution: the job continues in memory, but the disk stops at
+// that instant, after at least one checkpoint has been persisted (the
+// adaptive loop persists on entry, before plan execution processes docs).
+type freezer struct {
+	store *durable.Store
+	n     int64
+	armed atomic.Bool
+	seen  atomic.Int64
+}
+
+func (f *freezer) Emit(e obs.Event) {
+	if e.Kind == obs.KindPlanChosen {
+		f.armed.Store(true)
+		return
+	}
+	if f.armed.Load() && e.Kind == obs.KindDocProcessed && f.seen.Add(1) == f.n {
+		f.store.Freeze()
+	}
+}
+
+func openStore(t *testing.T, dir string) (*durable.Store, *durable.Recovered) {
+	t.Helper()
+	st, rec, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st, rec
+}
+
+func recoveredCount(m *obs.Registry, how string) int64 {
+	return m.Counter(obs.Series(obs.MetricJobsRecovered, "how", how)).Value()
+}
+
+// timeNormalized strips the warmth-dependent accounting from a result,
+// leaving only the warmth-invariant output: tuples, composition, plans,
+// and work counters.
+func timeNormalized(r *service.JobResult) service.JobResult {
+	c := *r
+	c.Time, c.TotalTime, c.CacheSaved = 0, 0, [2]float64{}
+	return c
+}
+
+// invariantTotal is the warmth-invariant billed total: TotalTime plus the
+// extraction time the cache made free. Identical across runs regardless of
+// how warm the cache (memory or disk tier) happened to be.
+func invariantTotal(r *service.JobResult) float64 {
+	return r.TotalTime + r.CacheSaved[0] + r.CacheSaved[1]
+}
+
+// TestCrashRecoveryResumesBitIdentical is the tentpole property: a daemon
+// whose disk froze mid-run (the observable state of a SIGKILL) restarts,
+// resumes the interrupted job from its last persisted checkpoint, and
+// finishes with the uninterrupted run's output bit-for-bit — every tuple,
+// count, and plan. Billed time satisfies the warmth invariant instead of
+// literal equality: the disk tier already holds extractions the crashed
+// run paid for, so the resumed run may bill less Time (never more), with
+// the difference accounted in CacheSaved.
+func TestCrashRecoveryResumesBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	stA, recA, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := &freezer{store: stA, n: 20}
+	mA := obs.NewRegistry()
+	envA := newEnv(t, service.Options{Workers: 1, Metrics: mA, Durable: stA, Recovered: recA, TraceSink: fr})
+
+	st, _ := envA.submit(t, service.JobRequest{Workload: crashSpec, TauG: crashTauG, TauB: crashTauB, Tuples: -1}, http.StatusAccepted)
+	if got := envA.await(t, st.ID); got.State != service.StateDone {
+		t.Fatalf("baseline job finished %s: %s", got.State, got.Error)
+	}
+	_, _, baseline := envA.result(t, st.ID)
+	if baseline == nil || baseline.Good == 0 {
+		t.Fatalf("implausible baseline %+v", baseline)
+	}
+	if fr.seen.Load() < fr.n {
+		t.Fatalf("run processed only %d docs; freeze never triggered", fr.seen.Load())
+	}
+	stA.Close()
+
+	// The disk stopped mid-run: journal has submitted+started but no
+	// finished record, and a checkpoint snapshot exists.
+	if _, err := os.Stat(filepath.Join(dir, "snapshots", st.ID+".ckpt")); err != nil {
+		t.Fatalf("no persisted checkpoint: %v", err)
+	}
+
+	stB, recB, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stB.Close() })
+	if len(recB.Jobs) != 1 || recB.Jobs[0].Finished() || !recB.Jobs[0].Started {
+		t.Fatalf("replay saw %+v, want one started unfinished job", recB.Jobs)
+	}
+	mB := obs.NewRegistry()
+	envB := newEnv(t, service.Options{Workers: 1, Metrics: mB, Durable: stB, Recovered: recB})
+
+	if got := envB.await(t, st.ID); got.State != service.StateDone {
+		t.Fatalf("recovered job finished %s: %s", got.State, got.Error)
+	}
+	_, _, resumed := envB.result(t, st.ID)
+	if !reflect.DeepEqual(timeNormalized(baseline), timeNormalized(resumed)) {
+		t.Errorf("resumed output diverged from uninterrupted run:\nbase    %+v\nresumed %+v", baseline, resumed)
+	}
+	baseInv, resInv := invariantTotal(baseline), invariantTotal(resumed)
+	if math.Abs(baseInv-resInv) > 1e-6*math.Abs(baseInv)+1e-9 {
+		t.Errorf("warmth-invariant total diverged: base %.6f, resumed %.6f", baseInv, resInv)
+	}
+	if resumed.Time > baseline.Time+1e-9 || resumed.TotalTime > baseline.TotalTime+1e-9 {
+		t.Errorf("resumed run billed more than uninterrupted: time %.3f/%.3f total %.3f/%.3f",
+			resumed.Time, baseline.Time, resumed.TotalTime, baseline.TotalTime)
+	}
+	if got := recoveredCount(mB, "resumed"); got != 1 {
+		t.Errorf("jobs_recovered{how=resumed} = %d, want 1", got)
+	}
+	// New submissions get fresh IDs above the recovered sequence.
+	st2, _ := envB.submit(t, service.JobRequest{Mode: service.ModeOptimize, Workload: crashSpec, TauG: crashTauG, TauB: crashTauB}, http.StatusAccepted)
+	if st2.ID == st.ID {
+		t.Errorf("recovered and fresh jobs share ID %s", st2.ID)
+	}
+}
+
+// TestRecoveryRequeuesNeverRanJob: a job journaled as submitted but never
+// started is re-enqueued on restart and completes.
+func TestRecoveryRequeuesNeverRanJob(t *testing.T) {
+	dir := t.TempDir()
+	stA, recA, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGate()
+	envA := newEnv(t, service.Options{Workers: 1, Metrics: obs.NewRegistry(), Durable: stA, Recovered: recA, TraceSink: g})
+
+	// Job 1 blocks on the gate mid-run; job 2 stays queued behind it.
+	st1, _ := envA.submit(t, service.JobRequest{Workload: crashSpec, TauG: crashTauG, TauB: crashTauB}, http.StatusAccepted)
+	<-g.entered
+	st2, _ := envA.submit(t, service.JobRequest{Mode: service.ModeOptimize, Workload: crashSpec, TauG: crashTauG, TauB: crashTauB}, http.StatusAccepted)
+	stA.Freeze()
+	stA.Close()
+	close(g.release)
+
+	stB, recB, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stB.Close() })
+	mB := obs.NewRegistry()
+	envB := newEnv(t, service.Options{Workers: 1, Metrics: mB, Durable: stB, Recovered: recB})
+	for _, id := range []string{st1.ID, st2.ID} {
+		if got := envB.await(t, id); got.State != service.StateDone {
+			t.Fatalf("recovered job %s finished %s: %s", id, got.State, got.Error)
+		}
+	}
+	if req := recoveredCount(mB, "requeued"); req < 1 {
+		t.Errorf("jobs_recovered{how=requeued} = %d, want >= 1", req)
+	}
+	if total := recoveredCount(mB, "requeued") + recoveredCount(mB, "resumed"); total != 2 {
+		t.Errorf("jobs recovered = %d, want 2", total)
+	}
+}
+
+// TestRecoveryServesCompletedResult: a job that finished before the restart
+// is reinstated from its persisted result — no re-execution, no workload
+// rebuild.
+func TestRecoveryServesCompletedResult(t *testing.T) {
+	dir := t.TempDir()
+	stA, recA, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envA := newEnv(t, service.Options{Workers: 1, Metrics: obs.NewRegistry(), Durable: stA, Recovered: recA})
+	st, _ := envA.submit(t, service.JobRequest{Workload: crashSpec, TauG: crashTauG, TauB: crashTauB}, http.StatusAccepted)
+	envA.await(t, st.ID)
+	_, _, want := envA.result(t, st.ID)
+	stA.Close()
+
+	stB, recB, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stB.Close() })
+	mB := obs.NewRegistry()
+	envB := newEnv(t, service.Options{Workers: 1, Metrics: mB, Durable: stB, Recovered: recB})
+	state, errMsg, got := envB.result(t, st.ID)
+	if state != service.StateDone || errMsg != "" {
+		t.Fatalf("recovered job state %s (%s)", state, errMsg)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("served result diverged:\nwant %+v\ngot  %+v", want, got)
+	}
+	if got := recoveredCount(mB, "completed"); got != 1 {
+		t.Errorf("jobs_recovered{how=completed} = %d, want 1", got)
+	}
+	if builds := mB.Counter(service.MetricWorkloadBuilds).Value(); builds != 0 {
+		t.Errorf("serving a persisted result rebuilt %d workloads", builds)
+	}
+}
+
+// TestCorruptCheckpointRerunsFromScratch: a bit-flipped checkpoint snapshot
+// is rejected by checksum; the job re-runs from scratch to completion, and
+// the daemon reports degraded on /readyz instead of going down. The rerun
+// is not compared bit-for-bit against the first run: a from-scratch
+// adaptive run over the now-warm disk tier observes cheaper extraction and
+// may legitimately pick a different plan — the same behavior a second job
+// on a warm in-memory cache has always had. Bit-identity is the resumed
+// path's property (TestCrashRecoveryResumesBitIdentical).
+func TestCorruptCheckpointRerunsFromScratch(t *testing.T) {
+	dir := t.TempDir()
+	stA, recA, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := &freezer{store: stA, n: 20}
+	envA := newEnv(t, service.Options{Workers: 1, Metrics: obs.NewRegistry(), Durable: stA, Recovered: recA, TraceSink: fr})
+	st, _ := envA.submit(t, service.JobRequest{Workload: crashSpec, TauG: crashTauG, TauB: crashTauB}, http.StatusAccepted)
+	envA.await(t, st.ID)
+	stA.Close()
+
+	ckpt := filepath.Join(dir, "snapshots", st.ID+".ckpt")
+	raw, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x04
+	if err := os.WriteFile(ckpt, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stB, recB, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stB.Close() })
+	mB := obs.NewRegistry()
+	envB := newEnv(t, service.Options{Workers: 1, Metrics: mB, Durable: stB, Recovered: recB})
+	if got := envB.await(t, st.ID); got.State != service.StateDone {
+		t.Fatalf("rerun job finished %s: %s", got.State, got.Error)
+	}
+	_, _, rerun := envB.result(t, st.ID)
+	if rerun == nil || rerun.Good == 0 || len(rerun.Plans) == 0 {
+		t.Errorf("implausible from-scratch rerun %+v", rerun)
+	}
+	if got := recoveredCount(mB, "requeued"); got != 1 {
+		t.Errorf("jobs_recovered{how=requeued} = %d, want 1 (corrupt checkpoint must requeue)", got)
+	}
+	if deg, why := envB.svc.Degraded(); !deg || why == "" {
+		t.Errorf("Degraded() = %v, %q after checksum rejection", deg, why)
+	}
+	resp, err := http.Get(envB.srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "degraded") {
+		t.Errorf("/readyz = %d %q, want 200 with a degraded detail", resp.StatusCode, body)
+	}
+}
+
+// TestCancelQueuedJobJournalsAndRefundsQuota is the DELETE integration
+// contract: cancelling a still-queued job removes it from the scheduler
+// heap, refunds the tenant's quota immediately, and journals the
+// cancellation so a restart does not resurrect the job.
+func TestCancelQueuedJobJournalsAndRefundsQuota(t *testing.T) {
+	dir := t.TempDir()
+	stA, recA, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGate()
+	envA := newEnv(t, service.Options{Workers: 1, TenantQuota: 2, Metrics: obs.NewRegistry(), Durable: stA, Recovered: recA, TraceSink: g})
+
+	blocker, _ := envA.submit(t, service.JobRequest{Tenant: "t", Workload: crashSpec, TauG: crashTauG, TauB: crashTauB}, http.StatusAccepted)
+	<-g.entered
+	queued, _ := envA.submit(t, service.JobRequest{Tenant: "t", Mode: service.ModeOptimize, Workload: crashSpec, TauG: crashTauG, TauB: crashTauB}, http.StatusAccepted)
+	// Quota (2) is now exhausted: a third submission bounces.
+	envA.submit(t, service.JobRequest{Tenant: "t", Mode: service.ModeOptimize, Workload: crashSpec, TauG: crashTauG, TauB: crashTauB}, http.StatusTooManyRequests)
+
+	req, _ := http.NewRequest(http.MethodDelete, envA.srv.URL+"/v1/jobs/"+queued.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	if st := envA.status(t, queued.ID); st.State != service.StateCanceled {
+		t.Fatalf("canceled job state %s", st.State)
+	}
+	// The quota slot is free again, without waiting for the blocker.
+	third, _ := envA.submit(t, service.JobRequest{Tenant: "t", Mode: service.ModeOptimize, Workload: crashSpec, TauG: crashTauG, TauB: crashTauB}, http.StatusAccepted)
+
+	close(g.release)
+	envA.await(t, blocker.ID)
+	envA.await(t, third.ID)
+	stA.Close()
+
+	// The journal committed the cancellation: a restart reinstates the job
+	// as canceled instead of re-running it.
+	stB, recB := openStore(t, dir)
+	var found *durable.RecoveredJob
+	for i := range recB.Jobs {
+		if recB.Jobs[i].ID == queued.ID {
+			found = &recB.Jobs[i]
+		}
+	}
+	if found == nil || found.State != service.StateCanceled {
+		t.Fatalf("journal replay of the canceled job = %+v", found)
+	}
+	mB := obs.NewRegistry()
+	envB := newEnv(t, service.Options{Workers: 1, Metrics: mB, Durable: stB, Recovered: recB})
+	if st := envB.status(t, queued.ID); st.State != service.StateCanceled {
+		t.Errorf("restart resurrected canceled job as %s", st.State)
+	}
+}

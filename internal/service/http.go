@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -34,6 +35,14 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.Draining() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		// A degraded durable layer is a detail, not an outage: the daemon
+		// still accepts and runs jobs (memory-only), so readiness stays 200
+		// and the detail tells operators durability is gone.
+		if deg, why := s.Degraded(); deg {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintf(w, "ready (degraded: %s)\n", why)
 			return
 		}
 		w.WriteHeader(http.StatusOK)

@@ -158,17 +158,20 @@ type JobResult struct {
 	Mode  string   `json:"mode"`
 	Plans []string `json:"plans,omitempty"`
 
-	Good          int     `json:"good"`
-	Bad           int     `json:"bad"`
-	Time          float64 `json:"time"`
-	TotalTime     float64 `json:"total_time"`
-	DocsProcessed [2]int  `json:"docs_processed"`
-	DocsRetrieved [2]int  `json:"docs_retrieved"`
-	Queries       [2]int  `json:"queries"`
-	DocsFailed    [2]int  `json:"docs_failed"`
-	RetriesSpent  [2]int  `json:"retries_spent"`
-	Degraded      bool    `json:"degraded,omitempty"`
-	DeadlineHit   bool    `json:"deadline_hit,omitempty"`
+	Good      int     `json:"good"`
+	Bad       int     `json:"bad"`
+	Time      float64 `json:"time"`
+	TotalTime float64 `json:"total_time"`
+	// CacheSaved is extraction time per side the shared cache made free;
+	// Time + ΣCacheSaved is invariant under cache warmth.
+	CacheSaved    [2]float64 `json:"cache_saved"`
+	DocsProcessed [2]int     `json:"docs_processed"`
+	DocsRetrieved [2]int     `json:"docs_retrieved"`
+	Queries       [2]int     `json:"queries"`
+	DocsFailed    [2]int     `json:"docs_failed"`
+	RetriesSpent  [2]int     `json:"retries_spent"`
+	Degraded      bool       `json:"degraded,omitempty"`
+	DeadlineHit   bool       `json:"deadline_hit,omitempty"`
 
 	CheckpointErrs []string `json:"checkpoint_errs,omitempty"`
 	Resumable      bool     `json:"resumable,omitempty"`
@@ -197,9 +200,14 @@ type Job struct {
 	err        string
 	result     *JobResult
 	checkpoint *joinopt.AdaptiveCheckpoint
-	submitted  time.Time
-	started    time.Time
-	finished   time.Time
+	// recovered is the checkpoint decoded from the durable store when this
+	// job was rebuilt after a daemon restart: the run resumes from it
+	// instead of starting over. Write-once during recovery, before the job
+	// is enqueued.
+	recovered *joinopt.AdaptiveCheckpoint
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
 }
 
 // Status snapshots the job for the status endpoint.

@@ -6,6 +6,7 @@ import (
 
 	"joinopt"
 	"joinopt/internal/obs"
+	"joinopt/internal/pipeline"
 )
 
 // Registry constructs Tasks once per workload spec and shares them across
@@ -16,6 +17,11 @@ import (
 // other workloads.
 type Registry struct {
 	defaultCacheBytes int64
+
+	// tierFor, when set (by a service with a durable store), resolves the
+	// disk cache tier to attach to a freshly built workload's extraction
+	// cache. The spec it receives is normalized. Set before any Task call.
+	tierFor func(WorkloadSpec) pipeline.Tier
 
 	mu      sync.Mutex
 	entries map[WorkloadSpec]*regEntry
@@ -99,6 +105,11 @@ func (r *Registry) Task(spec WorkloadSpec) (*joinopt.Task, error) {
 		}
 		if spec.CacheBytes > 0 {
 			e.task.ExtractCacheBytes = spec.CacheBytes
+		}
+		if r.tierFor != nil {
+			if tier := r.tierFor(spec); tier != nil {
+				e.task.SetExtractCacheTier(tier)
+			}
 		}
 	})
 	if !first && e.err == nil {

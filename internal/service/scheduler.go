@@ -96,6 +96,18 @@ func (s *scheduler) submit(j *Job) error {
 	return nil
 }
 
+// forceSubmit enqueues a recovered job, bypassing admission control: the
+// job was already admitted (and journaled) before the crash, so re-running
+// it is honouring an acceptance, not granting a new one. Recovery runs
+// before the service is serving, so draining cannot be set yet.
+func (s *scheduler) forceSubmit(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active[j.Tenant]++
+	heap.Push(&s.queue, j)
+	s.cond.Signal()
+}
+
 // queueDepth returns the current number of queued (not yet running) jobs.
 func (s *scheduler) queueDepth() (queued, running int) {
 	s.mu.Lock()

@@ -15,6 +15,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -22,7 +23,9 @@ import (
 	"time"
 
 	"joinopt"
+	"joinopt/internal/durable"
 	"joinopt/internal/obs"
+	"joinopt/internal/pipeline"
 )
 
 // Options configures a Service. The zero value selects the defaults.
@@ -51,6 +54,16 @@ type Options struct {
 	// (e.g. a daemon-wide NDJSON flight recorder). The service does not
 	// close it.
 	TraceSink obs.Tracer
+	// Durable, when set, makes the service crash-safe: job-state
+	// transitions are journaled, adaptive checkpoints and final results are
+	// persisted, and the extraction caches gain a disk tier — all under the
+	// store's state directory. The service absorbs durable-layer failures
+	// (see Service.Degraded); it never fails a job over them.
+	Durable *durable.Store
+	// Recovered is the replay that came out of opening the durable store;
+	// New re-enqueues, resumes, or reinstates every job in it before the
+	// service starts serving.
+	Recovered *durable.Recovered
 }
 
 func (o Options) withDefaults() Options {
@@ -136,7 +149,17 @@ func New(opts Options) *Service {
 		drainedCh: make(chan struct{}),
 		jobWall:   m.Histogram(MetricJobWallSecs, []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 30, 120}),
 	}
+	if d := opts.Durable; d != nil {
+		m.Describe(obs.MetricJobsRecovered, "jobs recovered across a daemon restart, by how (requeued, resumed, completed)")
+		m.Describe(obs.MetricDurableErrs, "durable-store failures absorbed by degrading to memory-only operation, by op")
+		s.registry.tierFor = func(spec WorkloadSpec) pipeline.Tier {
+			return d.CacheTier(cacheNamespace(spec))
+		}
+	}
 	s.sched = newScheduler(opts.Workers, opts.QueueDepth, opts.TenantQuota, s.execute)
+	if opts.Durable != nil && opts.Recovered != nil {
+		s.recover(opts.Recovered)
+	}
 	return s
 }
 
@@ -227,6 +250,15 @@ func (s *Service) Submit(req JobRequest) (*Job, error) {
 		return nil, err
 	}
 	s.storeJob(j)
+	if s.opts.Durable != nil {
+		// Journal the acceptance before acknowledging it: a daemon that
+		// dies after this line re-runs the job; one that dies before it
+		// never confirmed the submission.
+		raw, err := json.Marshal(req)
+		if err == nil {
+			s.journal(durable.Record{Seq: seq, Event: durable.EventSubmitted, JobID: j.ID, Tenant: j.Tenant, Request: raw})
+		}
+	}
 	m.Counter(obs.Series(MetricJobsSubmitted, "tenant", j.Tenant)).Inc()
 	s.publishPool()
 	return j, nil
@@ -299,13 +331,17 @@ func (s *Service) Cancel(id string) (*Job, error) {
 // markCanceled transitions a never-started job to canceled.
 func (s *Service) markCanceled(j *Job) {
 	j.mu.Lock()
-	if j.state == StateQueued {
+	transitioned := j.state == StateQueued
+	if transitioned {
 		j.state = StateCanceled
 		j.err = "canceled before start"
 		j.finished = time.Now()
 	}
 	j.mu.Unlock()
 	j.events.Close()
+	if transitioned {
+		s.journal(durable.Record{Seq: j.seq, Event: durable.EventFinished, JobID: j.ID, State: StateCanceled, Error: "canceled before start"})
+	}
 	s.opts.Metrics.Counter(obs.Series(MetricJobsCompleted, "state", StateCanceled)).Inc()
 }
 
@@ -327,6 +363,7 @@ func (s *Service) execute(j *Job) {
 	j.state = StateRunning
 	j.started = start
 	j.mu.Unlock()
+	s.journal(durable.Record{Seq: j.seq, Event: durable.EventStarted, JobID: j.ID})
 	s.publishPool()
 
 	res, err := s.runJob(j)
@@ -364,7 +401,14 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 	if s.opts.TraceSink != nil {
 		sinks = append(sinks, s.opts.TraceSink)
 	}
-	opts := []joinopt.RunOption{joinopt.WithTracer(joinopt.NewTrace(sinks...))}
+	// The service registry doubles as the run registry, so the per-run
+	// joinopt_* families — including the extraction-cache hit/miss counters
+	// that show disk-tier warmth paying off after a restart — appear on the
+	// daemon's /metrics endpoint.
+	opts := []joinopt.RunOption{
+		joinopt.WithTracer(joinopt.NewTrace(sinks...)),
+		joinopt.WithMetrics(s.opts.Metrics),
+	}
 	if j.req.Workers != 0 {
 		opts = append(opts, joinopt.WithWorkers(j.req.Workers))
 	}
@@ -387,9 +431,23 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 	if j.req.Deadline > 0 {
 		opts = append(opts, joinopt.WithDeadline(j.req.Deadline))
 	}
+	if d := s.opts.Durable; d != nil && j.req.Mode == ModeAdaptive {
+		// Stream every protocol-transition checkpoint to disk; a daemon
+		// killed mid-run resumes this job from the last one persisted.
+		id := j.ID
+		opts = append(opts, joinopt.WithCheckpointSink(func(ck *joinopt.AdaptiveCheckpoint) {
+			if wire, err := json.Marshal(ck); err == nil {
+				d.SaveCheckpoint(id, wire)
+			}
+		}))
+	}
 	switch {
 	case j.req.Mode == ModeExecute:
 		opts = append(opts, joinopt.WithPlan(*j.plan))
+	case j.recovered != nil:
+		// Rebuilt after a restart: resume from the checkpoint the crashed
+		// daemon persisted, not from scratch.
+		opts = append(opts, joinopt.WithCheckpoint(j.recovered))
 	case j.req.ResumeFrom != "":
 		src, err := s.job(j.req.ResumeFrom)
 		if err != nil {
@@ -418,6 +476,7 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 	if o := res.Outcome; o != nil {
 		out.Good, out.Bad = o.GoodTuples, o.BadTuples
 		out.Time = o.Time
+		out.CacheSaved = o.CacheSaved
 		out.DocsProcessed, out.DocsRetrieved = o.DocsProcessed, o.DocsRetrieved
 		out.Queries = o.Queries
 		out.DocsFailed, out.RetriesSpent = o.DocsFailed, o.RetriesSpent
@@ -467,6 +526,18 @@ func (s *Service) finish(j *Job, res *JobResult, err error) {
 	j.finished = now
 	j.mu.Unlock()
 	j.events.Close()
+
+	if d := s.opts.Durable; d != nil {
+		// Persist the result first, then journal the transition: replay
+		// treats the journal as the commit record, so a finished entry
+		// whose result write was lost just re-runs the job.
+		if res != nil {
+			if payload, err := json.Marshal(res); err == nil {
+				d.SaveResult(j.ID, payload)
+			}
+		}
+		s.journal(durable.Record{Seq: j.seq, Event: durable.EventFinished, JobID: j.ID, State: state, Error: msg})
+	}
 
 	m := s.opts.Metrics
 	m.Counter(obs.Series(MetricJobsCompleted, "state", state)).Inc()

@@ -199,9 +199,10 @@ type Task struct {
 	// zero extraction time. Inspect it with ExtractionCacheStats.
 	ExtractCacheBytes int64
 
-	cacheMu  sync.Mutex
-	cache    *pipeline.Cache
-	cacheCap int64
+	cacheMu   sync.Mutex
+	cache     *pipeline.Cache
+	cacheCap  int64
+	cacheTier pipeline.Tier
 
 	verifierMu sync.Mutex
 	verifiers  map[verifierKey]*verify.TemplateVerifier
@@ -221,6 +222,19 @@ func (t *Task) ExtractionCacheStats() CacheStats {
 	return t.cache.Stats()
 }
 
+// SetExtractCacheTier attaches a second cache level behind the task's
+// shared extraction cache — typically a disk store that survives process
+// restarts, so a restarted daemon lazily re-warms from everything a crashed
+// one had paid for. Attach before runs start; nil detaches.
+func (t *Task) SetExtractCacheTier(tier pipeline.Tier) {
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
+	t.cacheTier = tier
+	if t.cache != nil {
+		t.cache.SetTier(tier)
+	}
+}
+
 // extractCache resolves the shared cache at the requested capacity, reusing
 // the existing cache (and its contents) while the capacity is unchanged.
 func (t *Task) extractCache(bytes int64) *pipeline.Cache {
@@ -232,6 +246,7 @@ func (t *Task) extractCache(bytes int64) *pipeline.Cache {
 	}
 	if t.cache == nil || t.cacheCap != bytes {
 		t.cache = pipeline.NewCache(bytes)
+		t.cache.SetTier(t.cacheTier)
 		t.cacheCap = bytes
 	}
 	return t.cache
@@ -296,6 +311,12 @@ type Outcome struct {
 	// workload's per-operation constants).
 	Time float64
 
+	// CacheSaved is the per-side extraction time the shared cache made
+	// free. Time + ΣCacheSaved is invariant under cache warmth: a run over
+	// a warm cache (a later job on the same workload, or a crash-recovery
+	// resume over a disk tier) bills less Time but the same total.
+	CacheSaved [2]float64
+
 	// Work counters per side.
 	DocsProcessed [2]int
 	DocsRetrieved [2]int
@@ -332,6 +353,7 @@ func outcomeOf(plan Plan, st *join.State) *Outcome {
 		GoodTuples:    st.GoodPairs,
 		BadTuples:     st.BadPairs,
 		Time:          st.Time,
+		CacheSaved:    st.CacheSaved,
 		DocsProcessed: st.DocsProcessed,
 		DocsRetrieved: st.DocsRetrieved,
 		Queries:       st.Queries,

@@ -22,6 +22,7 @@ type runConfig struct {
 	trace   *Trace
 	metrics *Metrics
 	ck      *AdaptiveCheckpoint
+	ckSink  func(*AdaptiveCheckpoint)
 
 	faults      *FaultProfile
 	faultsSet   bool
@@ -106,6 +107,17 @@ func WithMetrics(m *Metrics) RunOption {
 // fixed-plan runs.
 func WithCheckpoint(ck *AdaptiveCheckpoint) RunOption {
 	return func(c *runConfig) { c.ck = ck }
+}
+
+// WithCheckpointSink streams each resumable checkpoint the adaptive protocol
+// produces — at plan choice, commit, switch, and finish-phase transitions —
+// to sink as the run progresses, so a durable store can persist them and a
+// crash can resume from the most recent one (see WithCheckpoint). The sink
+// runs synchronously on the run's goroutine and must treat the checkpoint as
+// read-only; serialize it (json.Marshal) before handing it elsewhere.
+// Ignored on fixed-plan runs.
+func WithCheckpointSink(sink func(*AdaptiveCheckpoint)) RunOption {
+	return func(c *runConfig) { c.ckSink = sink }
 }
 
 // RunResult is the outcome of a Run: the executed final outcome, the plan
@@ -246,6 +258,9 @@ func (t *Task) runAdaptive(ctx context.Context, w *workload.Workload, req Requir
 		return nil, err
 	}
 	oopts := optimizer.Options{ChooseWorkers: *cfg.workers}
+	if sink := cfg.ckSink; sink != nil {
+		oopts.Persist = func(c *optimizer.Checkpoint) { sink(&AdaptiveCheckpoint{ck: c}) }
+	}
 	var ores *optimizer.Result
 	if cfg.ck != nil {
 		ores, err = optimizer.ResumeAdaptiveCtx(ctx, env, optimizer.Requirement(req), oopts, cfg.ck.ck)

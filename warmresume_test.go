@@ -1,0 +1,86 @@
+package joinopt_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"joinopt"
+	"joinopt/internal/obs"
+)
+
+// cancelTracer cancels a run once trigger post-plan-chosen doc.processed
+// events have been seen — a deterministic mid-execution interruption point.
+type cancelTracer struct {
+	cancel  context.CancelFunc
+	armed   bool
+	docs    int
+	trigger int
+}
+
+func (c *cancelTracer) Emit(e obs.Event) {
+	if e.Kind == obs.KindPlanChosen {
+		c.armed = true
+	}
+	if c.armed && e.Kind == obs.KindDocProcessed {
+		c.docs++
+		if c.docs == c.trigger {
+			c.cancel()
+		}
+	}
+}
+
+// TestResumeAgainstWarmCacheMatchesUninterrupted pins the warmth-invariant
+// replay accounting: a mid-execution checkpoint resumed against the shared
+// extraction cache — now warm with every entry the interrupted prefix put —
+// must replay cleanly (the replay hits where the original missed, billing a
+// different Time but the same Time+ΣCacheSaved invariant) and finish with
+// the exact outcome and total time of an uninterrupted run on a cold task.
+func TestResumeAgainstWarmCacheMatchesUninterrupted(t *testing.T) {
+	params := joinopt.WorkloadParams{NumDocs: 400, Seed: 7}
+	req := joinopt.Requirement{TauG: 8, TauB: 200}
+
+	fresh, err := joinopt.NewTaskPair(params, "HQ", "EX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.ExtractCacheBytes = 32 << 20
+	base, err := fresh.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tk, err := joinopt.NewTaskPair(params, "HQ", "EX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.ExtractCacheBytes = 32 << 20
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ct := &cancelTracer{cancel: cancel, trigger: 20}
+	interrupted, err := tk.Run(ctx, req, joinopt.WithTracer(joinopt.NewTrace(ct)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if interrupted.Checkpoint == nil {
+		t.Fatal("interrupted run carries no checkpoint")
+	}
+	if s := tk.ExtractionCacheStats(); s.Entries == 0 {
+		t.Fatal("interrupted prefix left the cache cold; the test needs warmth")
+	}
+
+	resumed, err := tk.Run(context.Background(), req, joinopt.WithCheckpoint(interrupted.Checkpoint))
+	if err != nil {
+		t.Fatalf("resume against warm cache failed: %v", err)
+	}
+	if resumed.Outcome.GoodTuples != base.Outcome.GoodTuples ||
+		resumed.Outcome.BadTuples != base.Outcome.BadTuples ||
+		resumed.Outcome.Time != base.Outcome.Time ||
+		resumed.TotalTime != base.TotalTime {
+		t.Errorf("resumed run diverged from uninterrupted: good %d/%d bad %d/%d time %v/%v total %v/%v",
+			resumed.Outcome.GoodTuples, base.Outcome.GoodTuples,
+			resumed.Outcome.BadTuples, base.Outcome.BadTuples,
+			resumed.Outcome.Time, base.Outcome.Time,
+			resumed.TotalTime, base.TotalTime)
+	}
+}
