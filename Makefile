@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet test race transparency serve-smoke crash-smoke bench bench-overhead bench-json bench-json-check bench-service
+.PHONY: check build vet test race transparency api-check api-update bench-enum serve-smoke crash-smoke bench bench-overhead bench-json bench-json-check bench-service
 
 # check is the full pre-merge gate: static checks, a clean build, the test
 # suite, the race detector over the concurrent packages (the optimizer's
 # parallel plan-space search, the join executors it drives, and the fault
-# injection/tolerance layer), and the zero-rate fault-transparency property
-# (a profile with rate 0 must leave every execution bit-identical).
-check: vet build test race transparency
+# injection/tolerance layer), the zero-rate fault-transparency property
+# (a profile with rate 0 must leave every execution bit-identical), the
+# public-API drift gate, and a smoke run of the n-ary enumerator benchmark.
+check: vet build test race transparency api-check bench-enum
 
 build:
 	$(GO) build ./...
@@ -24,6 +25,21 @@ race:
 
 transparency:
 	$(GO) test ./internal/join/ -run TestZeroRateFaultTransparency -count=1
+
+# api-check diffs the exported surface of the root joinopt package against
+# the committed API.txt; any drift fails the gate until the change is
+# reviewed and API.txt regenerated with api-update.
+api-check:
+	$(GO) run ./cmd/apicheck -dir . -check API.txt
+
+api-update:
+	$(GO) run ./cmd/apicheck -dir . -write API.txt
+
+# bench-enum smokes the DP join-tree enumerator benchmark (k=2..5 query
+# graphs): a handful of iterations to catch pathological plan-space blowups
+# in the pre-merge gate, not to produce stable numbers.
+bench-enum:
+	$(GO) test -run '^$$' -bench 'BenchmarkNaryEnumerator' -benchtime 3x ./internal/optimizer/
 
 # serve-smoke boots the real joinoptd binary on a random port, drives one
 # adaptive job end to end over HTTP (submit, event stream, result, metrics

@@ -1,0 +1,241 @@
+// Command apicheck guards the public API of the root joinopt package: it
+// parses the package source and emits one sorted line per exported API
+// element — functions, methods, types, struct fields, interface methods,
+// constants, and variables — with parameter and result types rendered but
+// names elided (names are not API). The committed API.txt is the reviewed
+// surface; `apicheck -check API.txt` exits nonzero with a line diff when
+// the source surface drifts, so additions and removals are explicit in
+// review rather than discovered by downstream breakage (the in-tree
+// equivalent of an apidiff gate, with no dependencies beyond go/ast).
+//
+// Usage:
+//
+//	apicheck -dir .                 # print the current surface
+//	apicheck -dir . -check API.txt  # diff against the committed surface
+//	apicheck -dir . -write API.txt  # regenerate after a reviewed change
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory of the package to dump")
+	check := flag.String("check", "", "compare the surface against this file; exit 1 on drift")
+	write := flag.String("write", "", "write the surface to this file")
+	flag.Parse()
+
+	lines, err := surface(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(2)
+	}
+	out := strings.Join(lines, "\n") + "\n"
+
+	switch {
+	case *check != "":
+		want, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(2)
+		}
+		if d := diff(strings.Split(strings.TrimRight(string(want), "\n"), "\n"), lines); len(d) > 0 {
+			fmt.Fprintf(os.Stderr, "apicheck: public API drifted from %s:\n", *check)
+			for _, l := range d {
+				fmt.Fprintln(os.Stderr, "  "+l)
+			}
+			fmt.Fprintf(os.Stderr, "review the change, then regenerate with: go run ./cmd/apicheck -dir . -write %s\n", *check)
+			os.Exit(1)
+		}
+	case *write != "":
+		if err := os.WriteFile(*write, []byte(out), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Print(out)
+	}
+}
+
+// surface parses the package in dir and returns its exported API, one
+// sorted canonical line per element.
+func surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") || pkg.Name == "main" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lines = append(lines, declLines(decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+func declLines(decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		sig := signature(d.Type)
+		if d.Recv != nil {
+			recv := types.ExprString(d.Recv.List[0].Type)
+			// Methods on unexported receivers are not reachable API.
+			if !ast.IsExported(strings.TrimLeft(recv, "*")) {
+				return nil
+			}
+			return []string{fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, sig)}
+		}
+		return []string{fmt.Sprintf("func %s%s", d.Name.Name, sig)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				out = append(out, typeLines(s)...)
+			case *ast.ValueSpec:
+				kind := "var"
+				if d.Tok == token.CONST {
+					kind = "const"
+				}
+				for _, name := range s.Names {
+					if !name.IsExported() {
+						continue
+					}
+					line := kind + " " + name.Name
+					if s.Type != nil {
+						line += " " + types.ExprString(s.Type)
+					}
+					out = append(out, line)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func typeLines(s *ast.TypeSpec) []string {
+	if !s.Name.IsExported() {
+		return nil
+	}
+	name := s.Name.Name
+	eq := ""
+	if s.Assign.IsValid() {
+		eq = "= "
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		out := []string{"type " + name + " " + eq + "struct"}
+		for _, f := range t.Fields.List {
+			ft := types.ExprString(f.Type)
+			if len(f.Names) == 0 { // embedded
+				if ast.IsExported(strings.TrimLeft(ft, "*")) {
+					out = append(out, fmt.Sprintf("embedded %s.%s", name, ft))
+				}
+				continue
+			}
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					out = append(out, fmt.Sprintf("field %s.%s %s", name, fn.Name, ft))
+				}
+			}
+		}
+		return out
+	case *ast.InterfaceType:
+		out := []string{"type " + name + " " + eq + "interface"}
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				out = append(out, fmt.Sprintf("iface %s: embeds %s", name, types.ExprString(m.Type)))
+				continue
+			}
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					out = append(out, fmt.Sprintf("iface %s.%s%s", name, mn.Name, signature(m.Type.(*ast.FuncType))))
+				}
+			}
+		}
+		return out
+	default:
+		return []string{"type " + name + " " + eq + types.ExprString(s.Type)}
+	}
+}
+
+// signature renders a function type with types only: parameter and result
+// names are implementation detail, not API.
+func signature(ft *ast.FuncType) string {
+	return "(" + fieldTypes(ft.Params) + ")" + results(ft.Results)
+}
+
+func results(fl *ast.FieldList) string {
+	switch {
+	case fl == nil || len(fl.List) == 0:
+		return ""
+	case len(fl.List) == 1 && len(fl.List[0].Names) <= 1:
+		return " " + types.ExprString(fl.List[0].Type)
+	default:
+		return " (" + fieldTypes(fl) + ")"
+	}
+}
+
+func fieldTypes(fl *ast.FieldList) string {
+	if fl == nil {
+		return ""
+	}
+	var parts []string
+	for _, f := range fl.List {
+		t := types.ExprString(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			parts = append(parts, t)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// diff returns the removed (-) and added (+) lines between two sorted
+// line sets.
+func diff(want, got []string) []string {
+	inWant := map[string]bool{}
+	for _, l := range want {
+		inWant[l] = true
+	}
+	inGot := map[string]bool{}
+	for _, l := range got {
+		inGot[l] = true
+	}
+	var out []string
+	for _, l := range want {
+		if !inGot[l] {
+			out = append(out, "- "+l)
+		}
+	}
+	for _, l := range got {
+		if !inWant[l] {
+			out = append(out, "+ "+l)
+		}
+	}
+	return out
+}

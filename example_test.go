@@ -1,6 +1,7 @@
 package joinopt_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,9 +23,9 @@ func ExampleNewHQJoinEX() {
 	// Executives(Company, CEO)
 }
 
-// Execute runs any plan of the space; the stop condition sees the live
-// output composition.
-func ExampleTask_Execute() {
+// Run with WithPlan executes any plan of the space; the stop condition sees
+// the live output composition.
+func ExampleTask_Run() {
 	task, err := joinopt.NewHQJoinEX(joinopt.WorkloadParams{NumDocs: 800, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
@@ -34,17 +35,38 @@ func ExampleTask_Execute() {
 		Theta:     [2]float64{0.4, 0.4},
 		X:         [2]joinopt.Strategy{joinopt.Scan, joinopt.Scan},
 	}
-	out, err := task.Execute(plan, func(p joinopt.Progress) bool {
-		return p.GoodTuples >= 4
+	res, err := task.Run(context.Background(), joinopt.Requirement{},
+		joinopt.WithPlan(plan),
+		joinopt.WithStop(func(p joinopt.Progress) bool { return p.GoodTuples >= 4 }))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reached the good-tuple target:", res.Outcome.GoodTuples >= 4)
+	fmt.Println("paid execution time:", res.Outcome.Time > 0)
+	// Output:
+	// reached the good-tuple target: true
+	// paid execution time: true
+}
+
+// A declarative query joins up to MaxQueryRelations relations: the DP
+// enumerator picks per-relation knobs, efforts, and the join tree.
+func ExampleNewQuery() {
+	task, err := joinopt.NewQuery(joinopt.WorkloadParams{NumDocs: 450, Seed: 1}, joinopt.Query{
+		Relations: []string{"HQ", "EX", "MG", "HQ"},
+		Joins:     [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("reached the good-tuple target:", out.GoodTuples >= 4)
-	fmt.Println("paid execution time:", out.Time > 0)
+	res, err := task.Run(context.Background(), joinopt.Requirement{TauG: 10, TauB: 1 << 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("relations joined:", task.Arity())
+	fmt.Println("produced good tuples:", res.Query.GoodTuples > 0)
 	// Output:
-	// reached the good-tuple target: true
-	// paid execution time: true
+	// relations joined: 4
+	// produced good tuples: true
 }
 
 // High-level preferences map onto the paper's low-level (τg, τb) model.

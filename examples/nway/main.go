@@ -1,0 +1,67 @@
+// N-way join — a declarative 4-relation query planned by the DP join-tree
+// enumerator: Headquarters ⋈ Executives ⋈ Mergers ⋈ Headquarters' as a
+// cycle on the shared Company attribute. The optimizer picks per-relation
+// knob settings, retrieval strategies, and effort budgets against the
+// 2^n-class quality composition model, chooses the join tree that
+// minimizes merge cost, and executes it by composing the pairwise
+// executors over a shared extraction cache.
+//
+//	go run ./examples/nway
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"joinopt"
+)
+
+func main() {
+	task, err := joinopt.NewQuery(joinopt.WorkloadParams{NumDocs: 450, Seed: 1}, joinopt.Query{
+		Relations: []string{"HQ", "EX", "MG", "HQ"},
+		Joins:     [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	task.MergeCost = 0.05
+	task.ExtractCacheBytes = 32 << 20
+
+	names := task.RelationNames()
+	fmt.Printf("%d-way query over:\n", task.Arity())
+	for i, n := range names {
+		fmt.Printf("  R%d = %s (%d docs)\n", i+1, n, task.Sizes()[i])
+	}
+
+	req := joinopt.Requirement{TauG: 10, TauB: 1 << 30}
+
+	// Plan only: the chosen tree, per-relation configuration, and the
+	// model's predictions at the chosen efforts.
+	plan, err := task.OptimizeQuery(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nchosen plan: %s\n", plan)
+	fmt.Printf("predicted: good=%.1f bad=%.1f time=%.0f (merge tuples %.0f)\n",
+		plan.EstimatedGood, plan.EstimatedBad, plan.EstimatedTime, plan.EstimatedMergeTuples)
+
+	// Plan and execute in one call.
+	res, err := task.Run(context.Background(), req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := res.Query
+	fmt.Printf("\nexecuted: good=%d bad=%d time=%.0f (merge time %.0f)\n",
+		q.GoodTuples, q.BadTuples, q.Time, q.MergeTime)
+	for i := range names {
+		fmt.Printf("  R%d: processed %d docs (retrieved %d)\n",
+			i+1, q.DocsProcessed[i], q.DocsRetrieved[i])
+	}
+	fmt.Printf("  intermediate materializations: %v\n", q.NodeTuples)
+
+	fmt.Println("\nQuality does not decompose over the tree — a bad base tuple")
+	fmt.Println("contaminates every k-way combination it joins into — so the")
+	fmt.Println("enumerator prices per-leaf knobs with the full 2^n composition")
+	fmt.Println("model and uses the tree choice only to minimize merge cost.")
+}

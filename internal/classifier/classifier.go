@@ -129,21 +129,26 @@ func TrainBayes(db *corpus.DB, task string, threshold float64) (*Bayes, error) {
 		terms:        map[string][2]float64{},
 		threshold:    threshold,
 	}
-	vocab := map[string]bool{}
+	seen := map[string]bool{}
 	for t := range countGood {
-		vocab[t] = true
+		seen[t] = true
 	}
 	for t := range countRest {
-		vocab[t] = true
+		seen[t] = true
 	}
-	for t := range vocab {
+	vocab := make([]string, 0, len(seen))
+	for t := range seen {
+		vocab = append(vocab, t)
+	}
+	sort.Strings(vocab) // deterministic float accumulation order
+	for _, t := range vocab {
 		pg := (float64(countGood[t]) + 1) / (float64(nGood) + 2)
 		pr := (float64(countRest[t]) + 1) / (float64(nRest) + 2)
 		b.terms[t] = [2]float64{math.Log(pg) - math.Log(1-pg), math.Log(pr) - math.Log(1-pr)}
 	}
 	// Base score assuming every term absent; per-present-term adjustments
 	// are stored relative to absence, so classification is O(|doc|).
-	for t := range vocab {
+	for _, t := range vocab {
 		pg := (float64(countGood[t]) + 1) / (float64(nGood) + 2)
 		pr := (float64(countRest[t]) + 1) / (float64(nRest) + 2)
 		b.absentGood += math.Log(1 - pg)

@@ -67,22 +67,26 @@ func (m *MultiIDJNModel) Estimate(efforts []int) (Quality, error) {
 	}
 	var q Quality
 	allGood := relation.AllGood(n)
-	for mask, count := range m.Classes {
-		if count == 0 {
-			continue
-		}
-		contrib := float64(count)
-		for i := 0; i < n; i++ {
-			if mask&(1<<i) != 0 {
-				contrib *= goodOcc[i]
+	// Ascending mask order, not map order: float summation order must be
+	// deterministic for the optimizer's bit-identical-choice guarantees.
+	for mask := relation.ClassMask(0); ; mask++ {
+		if count := m.Classes[mask]; count != 0 {
+			contrib := float64(count)
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					contrib *= goodOcc[i]
+				} else {
+					contrib *= badOcc[i]
+				}
+			}
+			if mask == allGood {
+				q.Good += contrib
 			} else {
-				contrib *= badOcc[i]
+				q.Bad += contrib
 			}
 		}
 		if mask == allGood {
-			q.Good += contrib
-		} else {
-			q.Bad += contrib
+			break
 		}
 	}
 	return q, nil

@@ -94,6 +94,13 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if req.Query == nil {
+		// The binary workload spec is the legacy job form: the query spec
+		// expresses the same joins (and more). RFC 8594-style advice until
+		// clients migrate.
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/jobs>; rel="alternate"; title="use the query job form"`)
+	}
 	writeJSON(w, http.StatusAccepted, j.Status())
 }
 

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -72,10 +73,51 @@ func (p *PlanRequest) plan() (joinopt.Plan, error) {
 
 // Job modes.
 const (
-	ModeAdaptive = "adaptive" // the paper's §VI protocol (default)
+	ModeAdaptive = "adaptive" // the paper's §VI protocol (default for binary specs)
 	ModeExecute  = "execute"  // run one pinned plan
 	ModeOptimize = "optimize" // perfect-knowledge plan choice, no execution
+	ModeQuery    = "query"    // plan and run an n-way query (default with a query spec)
 )
+
+// QuerySpec declares an n-way join in the v1 job spec: which extraction
+// tasks to join (2..joinopt.MaxQueryRelations, repeats allowed) and which
+// pairs share their join attribute (empty joins defaults to the chain
+// R1—R2—…—Rk). It is the generalized form of the binary workload spec: a
+// job carrying one runs in query mode (planned by the DP join-tree
+// enumerator) or optimize mode, and names its relations here rather than in
+// workload.relations.
+type QuerySpec struct {
+	Relations []string `json:"relations"`
+	Joins     [][2]int `json:"joins,omitempty"`
+	// MergeCost charges the execution this much time per intermediate join
+	// tuple; the planner minimizes it by join-tree choice. Part of the
+	// workload identity: jobs with different merge costs do not share a
+	// task.
+	MergeCost float64 `json:"merge_cost,omitempty"`
+}
+
+// key canonicalizes the spec for registry keying and cache namespacing:
+// equivalent queries (e.g. explicit chain joins vs. defaulted ones) map to
+// one string, distinct ones to distinct strings.
+func (q *QuerySpec) key() string {
+	if q == nil {
+		return ""
+	}
+	joins := q.Joins
+	if len(joins) == 0 {
+		for i := 1; i < len(q.Relations); i++ {
+			joins = append(joins, [2]int{i - 1, i})
+		}
+	}
+	s := strings.Join(q.Relations, "-")
+	for _, j := range joins {
+		s += fmt.Sprintf("_j%d.%d", j[0], j[1])
+	}
+	if q.MergeCost != 0 {
+		s += fmt.Sprintf("_tj%g", q.MergeCost)
+	}
+	return s
+}
 
 // JobRequest is the POST /v1/jobs payload.
 type JobRequest struct {
@@ -88,7 +130,13 @@ type JobRequest struct {
 
 	Workload WorkloadSpec `json:"workload"`
 
-	Mode string `json:"mode,omitempty"` // adaptive (default) | execute | optimize
+	// Query switches the job to the n-way form: the relations come from the
+	// query spec (workload.relations must be left empty) and the job runs in
+	// query or optimize mode. Binary-only knobs (plan, faults, retries,
+	// failure_budget, resume_from, tuples) do not apply.
+	Query *QuerySpec `json:"query,omitempty"`
+
+	Mode string `json:"mode,omitempty"` // adaptive (default) | execute | optimize | query
 	TauG int    `json:"tau_g"`
 	TauB int    `json:"tau_b"`
 
@@ -153,6 +201,30 @@ type PlanEvalJSON struct {
 	EstimatedTime float64 `json:"estimated_time"`
 }
 
+// QueryLeafJSON is one relation's configuration in a chosen n-ary plan.
+type QueryLeafJSON struct {
+	Relation string  `json:"relation"`
+	Theta    float64 `json:"theta"`
+	Strategy string  `json:"strategy"`
+	Effort   int     `json:"effort"`
+}
+
+// QueryResultJSON is the n-ary portion of a query job's result: the chosen
+// join tree and per-relation work, indexed in query order. The shared
+// good/bad/time totals stay on the enclosing JobResult.
+type QueryResultJSON struct {
+	Plan   string          `json:"plan"`
+	Tree   string          `json:"tree"`
+	Leaves []QueryLeafJSON `json:"leaves"`
+
+	MergeTime     float64   `json:"merge_time"`
+	CacheSaved    []float64 `json:"cache_saved"`
+	DocsProcessed []int     `json:"docs_processed"`
+	DocsRetrieved []int     `json:"docs_retrieved"`
+	Queries       []int     `json:"queries"`
+	NodeTuples    []int     `json:"node_tuples"`
+}
+
 // JobResult is the GET /v1/jobs/{id}/result payload of a finished job.
 type JobResult struct {
 	Mode  string   `json:"mode"`
@@ -178,6 +250,10 @@ type JobResult struct {
 
 	Evaluation *PlanEvalJSON `json:"evaluation,omitempty"`
 	Tuples     []JobTuple    `json:"tuples,omitempty"`
+
+	// Query carries the n-ary details of a query-mode job joining three or
+	// more relations (nil on binary jobs, including two-relation queries).
+	Query *QueryResultJSON `json:"query,omitempty"`
 }
 
 // Job is one unit of scheduled work. All mutable fields are guarded by mu;

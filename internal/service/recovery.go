@@ -14,10 +14,15 @@ import (
 // cacheNamespace names a workload's slice of the durable cache tier. Cache
 // keys are (side, doc, θ) within a workload, so everything that changes
 // what a key extracts — relations, corpus sizes, seed, ranking — is in the
-// namespace. spec must be normalized.
-func cacheNamespace(spec WorkloadSpec) string {
-	return fmt.Sprintf("%s-%s_n%d-%d_s%d_k%d",
-		spec.Relations[0], spec.Relations[1], spec.NumDocs, spec.NumDocs2, spec.Seed, spec.TopK)
+// namespace; for query workloads the canonical query string carries the
+// relations. The key must be normalized.
+func cacheNamespace(key regKey) string {
+	spec := key.wl
+	rels := fmt.Sprintf("%s-%s", spec.Relations[0], spec.Relations[1])
+	if key.query != "" {
+		rels = "q_" + key.query
+	}
+	return fmt.Sprintf("%s_n%d-%d_s%d_k%d", rels, spec.NumDocs, spec.NumDocs2, spec.Seed, spec.TopK)
 }
 
 // recover rebuilds the job store from the journal replay: finished jobs are

@@ -20,15 +20,25 @@ type Registry struct {
 
 	// tierFor, when set (by a service with a durable store), resolves the
 	// disk cache tier to attach to a freshly built workload's extraction
-	// cache. The spec it receives is normalized. Set before any Task call.
-	tierFor func(WorkloadSpec) pipeline.Tier
+	// cache. The key it receives is normalized. Set before any Task call.
+	tierFor func(regKey) pipeline.Tier
 
 	mu      sync.Mutex
-	entries map[WorkloadSpec]*regEntry
+	entries map[regKey]*regEntry
 
 	builds   *obs.Counter
 	reuses   *obs.Counter
 	resident *obs.Gauge
+}
+
+// regKey identifies one shareable task: the normalized binary workload
+// spec plus, for n-way jobs, the canonical query string (QuerySpec.key).
+// Keying on the canonical string keeps the key comparable — the slices in
+// a QuerySpec could not be a map key — and makes equivalent query
+// spellings share one entry.
+type regKey struct {
+	wl    WorkloadSpec
+	query string
 }
 
 type regEntry struct {
@@ -53,7 +63,7 @@ func NewRegistry(defaultCacheBytes int64, m *obs.Registry) *Registry {
 	m.Describe(MetricWorkloadResident, "distinct workload tasks resident in the registry")
 	return &Registry{
 		defaultCacheBytes: defaultCacheBytes,
-		entries:           map[WorkloadSpec]*regEntry{},
+		entries:           map[regKey]*regEntry{},
 		builds:            m.Counter(MetricWorkloadBuilds),
 		reuses:            m.Counter(MetricWorkloadReuses),
 		resident:          m.Gauge(MetricWorkloadResident),
@@ -61,8 +71,10 @@ func NewRegistry(defaultCacheBytes int64, m *obs.Registry) *Registry {
 }
 
 // normalize applies spec defaults so equivalent requests share one entry.
-func (r *Registry) normalize(spec WorkloadSpec) WorkloadSpec {
-	if spec.Relations == [2]string{} {
+// Query jobs name their relations in the query spec, so the binary
+// relations default does not apply to them.
+func (r *Registry) normalize(spec WorkloadSpec, q *QuerySpec) WorkloadSpec {
+	if q == nil && spec.Relations == [2]string{} {
 		spec.Relations = [2]string{"HQ", "EX"}
 	}
 	if spec.NumDocs == 0 {
@@ -77,14 +89,15 @@ func (r *Registry) normalize(spec WorkloadSpec) WorkloadSpec {
 	return spec
 }
 
-// Task resolves the shared Task for spec, constructing it on first use.
-func (r *Registry) Task(spec WorkloadSpec) (*joinopt.Task, error) {
-	spec = r.normalize(spec)
+// Task resolves the shared Task for a workload spec — plus, for n-way
+// jobs, a query spec — constructing it on first use.
+func (r *Registry) Task(spec WorkloadSpec, q *QuerySpec) (*joinopt.Task, error) {
+	key := regKey{wl: r.normalize(spec, q), query: q.key()}
 	r.mu.Lock()
-	e, ok := r.entries[spec]
+	e, ok := r.entries[key]
 	if !ok {
 		e = &regEntry{}
-		r.entries[spec] = e
+		r.entries[key] = e
 		r.resident.Set(float64(len(r.entries)))
 	}
 	r.mu.Unlock()
@@ -93,21 +106,32 @@ func (r *Registry) Task(spec WorkloadSpec) (*joinopt.Task, error) {
 	e.once.Do(func() {
 		first = true
 		r.builds.Inc()
-		e.task, e.err = joinopt.NewTaskPair(joinopt.WorkloadParams{
+		spec := key.wl
+		params := joinopt.WorkloadParams{
 			NumDocs:  spec.NumDocs,
 			NumDocs2: spec.NumDocs2,
 			Seed:     spec.Seed,
 			TopK:     spec.TopK,
-		}, spec.Relations[0], spec.Relations[1])
-		if e.err != nil {
-			e.err = fmt.Errorf("service: building workload %v: %w", spec.Relations, e.err)
-			return
+		}
+		if q != nil {
+			e.task, e.err = joinopt.NewQuery(params, joinopt.Query{Relations: q.Relations, Joins: q.Joins})
+			if e.err != nil {
+				e.err = fmt.Errorf("service: building query workload %v: %w", q.Relations, e.err)
+				return
+			}
+			e.task.MergeCost = q.MergeCost
+		} else {
+			e.task, e.err = joinopt.NewTaskPair(params, spec.Relations[0], spec.Relations[1])
+			if e.err != nil {
+				e.err = fmt.Errorf("service: building workload %v: %w", spec.Relations, e.err)
+				return
+			}
 		}
 		if spec.CacheBytes > 0 {
 			e.task.ExtractCacheBytes = spec.CacheBytes
 		}
 		if r.tierFor != nil {
-			if tier := r.tierFor(spec); tier != nil {
+			if tier := r.tierFor(key); tier != nil {
 				e.task.SetExtractCacheTier(tier)
 			}
 		}

@@ -26,6 +26,7 @@ import (
 	"joinopt/internal/durable"
 	"joinopt/internal/obs"
 	"joinopt/internal/pipeline"
+	"joinopt/internal/querygraph"
 )
 
 // Options configures a Service. The zero value selects the defaults.
@@ -152,8 +153,8 @@ func New(opts Options) *Service {
 	if d := opts.Durable; d != nil {
 		m.Describe(obs.MetricJobsRecovered, "jobs recovered across a daemon restart, by how (requeued, resumed, completed)")
 		m.Describe(obs.MetricDurableErrs, "durable-store failures absorbed by degrading to memory-only operation, by op")
-		s.registry.tierFor = func(spec WorkloadSpec) pipeline.Tier {
-			return d.CacheTier(cacheNamespace(spec))
+		s.registry.tierFor = func(key regKey) pipeline.Tier {
+			return d.CacheTier(cacheNamespace(key))
 		}
 	}
 	s.sched = newScheduler(opts.Workers, opts.QueueDepth, opts.TenantQuota, s.execute)
@@ -181,12 +182,24 @@ func (s *Service) Submit(req JobRequest) (*Job, error) {
 	if req.Tenant == "" {
 		req.Tenant = "default"
 	}
+	if req.Query != nil {
+		if err := validateQueryJob(&req); err != nil {
+			return nil, err
+		}
+	}
 	switch req.Mode {
 	case "":
 		req.Mode = ModeAdaptive
+		if req.Query != nil {
+			req.Mode = ModeQuery
+		}
+	case ModeQuery:
+		if req.Query == nil {
+			return nil, errors.New("query mode requires a query spec")
+		}
 	case ModeAdaptive, ModeExecute, ModeOptimize:
 	default:
-		return nil, fmt.Errorf("unknown mode %q (want %s, %s, or %s)", req.Mode, ModeAdaptive, ModeExecute, ModeOptimize)
+		return nil, fmt.Errorf("unknown mode %q (want %s, %s, %s, or %s)", req.Mode, ModeAdaptive, ModeExecute, ModeOptimize, ModeQuery)
 	}
 	var plan *joinopt.Plan
 	if req.Mode == ModeExecute {
@@ -215,7 +228,7 @@ func (s *Service) Submit(req JobRequest) (*Job, error) {
 		if src.Checkpoint() == nil {
 			return nil, fmt.Errorf("resume_from: job %s has no resumable checkpoint", req.ResumeFrom)
 		}
-		if s.registry.normalize(src.req.Workload) != s.registry.normalize(req.Workload) {
+		if s.registry.normalize(src.req.Workload, nil) != s.registry.normalize(req.Workload, nil) {
 			return nil, errors.New("resume_from: workload differs from the checkpointed job's")
 		}
 	}
@@ -262,6 +275,35 @@ func (s *Service) Submit(req JobRequest) (*Job, error) {
 	m.Counter(obs.Series(MetricJobsSubmitted, "tenant", j.Tenant)).Inc()
 	s.publishPool()
 	return j, nil
+}
+
+// validateQueryJob rejects the binary-only parts of the job spec on n-way
+// query jobs, and malformed query shapes, at submission time.
+func validateQueryJob(req *JobRequest) error {
+	switch req.Mode {
+	case "", ModeQuery, ModeOptimize:
+	default:
+		return fmt.Errorf("%s mode does not apply to query jobs (want %s or %s)", req.Mode, ModeQuery, ModeOptimize)
+	}
+	if req.Workload.Relations != [2]string{} {
+		return errors.New("query jobs name their relations in query.relations; leave workload.relations empty")
+	}
+	switch {
+	case req.Workload.NumDocs2 != 0:
+		return errors.New("num_docs2 applies to binary workloads only")
+	case req.Plan != nil:
+		return errors.New("plan applies to execute-mode binary jobs only")
+	case req.Faults != "":
+		return errors.New("fault injection applies to binary jobs only")
+	case req.Retries != 0 || req.FailureBudget != 0:
+		return errors.New("retry policies apply to binary jobs only")
+	case req.ResumeFrom != "":
+		return errors.New("resume_from applies to adaptive binary jobs only")
+	case req.Tuples != 0 && len(req.Query.Relations) > 2:
+		return errors.New("tuples apply to two-relation results only")
+	}
+	_, err := (querygraph.Spec{Relations: req.Query.Relations, Joins: req.Query.Joins}).Graph()
+	return err
 }
 
 // storeJob indexes the job and evicts the oldest finished jobs past the
@@ -374,13 +416,29 @@ func (s *Service) execute(j *Job) {
 
 // runJob dispatches on the job mode and executes against the shared Task.
 func (s *Service) runJob(j *Job) (*JobResult, error) {
-	task, err := s.registry.Task(j.req.Workload)
+	task, err := s.registry.Task(j.req.Workload, j.req.Query)
 	if err != nil {
 		return nil, err
 	}
 	req := joinopt.Requirement{TauG: j.req.TauG, TauB: j.req.TauB}
 
 	if j.req.Mode == ModeOptimize {
+		if j.req.Query != nil {
+			qp, err := task.OptimizeQuery(req)
+			if err != nil {
+				return nil, err
+			}
+			return &JobResult{
+				Mode:  ModeOptimize,
+				Plans: []string{qp.String()},
+				Evaluation: &PlanEvalJSON{
+					Plan:          qp.String(),
+					EstimatedGood: qp.EstimatedGood,
+					EstimatedBad:  qp.EstimatedBad,
+					EstimatedTime: qp.EstimatedTime,
+				},
+			}, nil
+		}
 		ev, err := task.Optimize(req)
 		if err != nil {
 			return nil, err
@@ -404,10 +462,13 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 	// The service registry doubles as the run registry, so the per-run
 	// joinopt_* families — including the extraction-cache hit/miss counters
 	// that show disk-tier warmth paying off after a restart — appear on the
-	// daemon's /metrics endpoint.
+	// daemon's /metrics endpoint. N-ary runs do not take per-run metrics
+	// instrumentation; their work still shows in the job-level gauges.
 	opts := []joinopt.RunOption{
 		joinopt.WithTracer(joinopt.NewTrace(sinks...)),
-		joinopt.WithMetrics(s.opts.Metrics),
+	}
+	if task.Arity() == 2 {
+		opts = append(opts, joinopt.WithMetrics(s.opts.Metrics))
 	}
 	if j.req.Workers != 0 {
 		opts = append(opts, joinopt.WithWorkers(j.req.Workers))
@@ -490,6 +551,28 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 				out.Tuples = append(out.Tuples, JobTuple{A: t.A, B: t.B, C: t.C, Good: t.Good})
 			}
 		}
+	}
+	if qo := res.Query; qo != nil {
+		out.Good, out.Bad = qo.GoodTuples, qo.BadTuples
+		out.Time = qo.Time
+		out.DeadlineHit = qo.DeadlineHit
+		out.Plans = append(out.Plans, qo.Plan.String())
+		qr := &QueryResultJSON{
+			Plan:          qo.Plan.String(),
+			Tree:          qo.Plan.Tree,
+			MergeTime:     qo.MergeTime,
+			CacheSaved:    qo.CacheSaved,
+			DocsProcessed: qo.DocsProcessed,
+			DocsRetrieved: qo.DocsRetrieved,
+			Queries:       qo.Queries,
+			NodeTuples:    qo.NodeTuples,
+		}
+		for _, l := range qo.Plan.Leaves {
+			qr.Leaves = append(qr.Leaves, QueryLeafJSON{
+				Relation: l.Relation, Theta: l.Theta, Strategy: string(l.Strategy), Effort: l.Effort,
+			})
+		}
+		out.Query = qr
 	}
 	if err != nil && errors.Is(err, joinopt.ErrDeadline) {
 		// A deadline stop is a reported outcome, not a job failure.

@@ -2,11 +2,13 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"joinopt/internal/corpus"
 	"joinopt/internal/extract"
 	"joinopt/internal/join"
 	"joinopt/internal/model"
+	"joinopt/internal/querygraph"
 	"joinopt/internal/relation"
 	"joinopt/internal/retrieval"
 	"joinopt/internal/stat"
@@ -24,28 +26,32 @@ type MultiWorkload struct {
 	DBs    []*corpus.DB
 	Sys    []*extract.System
 	Costs  []join.Costs
+
+	// ratesMu/rates memoize the per-side IE rate characterization: it walks
+	// the whole corpus, and the n-ary input assembly needs it once per side,
+	// not once per (side, θ).
+	ratesMu sync.Mutex
+	rates   []*extract.Rates
 }
 
-// Multi builds an n-task workload over distinct standard tasks ("HQ",
-// "EX", "MG"). The join values split into a shared core present in every
-// relation (so the n-way good composition is non-empty) plus per-task
-// private ranges; each task's bad values overlap its own and the next
-// task's good values.
+// Multi builds an n-task workload over the standard tasks ("HQ", "EX",
+// "MG"), 2 ≤ n ≤ querygraph.MaxRelations; tasks may repeat — each index
+// gets its own corpus (distinct generation seed) and its own private value
+// ranges, so repeated tasks still produce distinct relations. The join
+// values split into a shared core present in every relation (so the n-way
+// good composition is non-empty) plus per-index private ranges; each
+// relation's bad values overlap the shared core at a staggered offset, so
+// mixed good/bad class combinations are populated.
 func Multi(p Params, tasks []string) (*MultiWorkload, error) {
 	if p.NumDocs < 400 {
 		return nil, fmt.Errorf("workload: NumDocs must be at least 400, got %d", p.NumDocs)
 	}
 	N := len(tasks)
-	if N < 2 || N > 3 {
-		return nil, fmt.Errorf("workload: multi-way supports 2 or 3 tasks, got %d", N)
+	if N < 2 || N > querygraph.MaxRelations {
+		return nil, fmt.Errorf("workload: multi-way supports 2..%d tasks, got %d", querygraph.MaxRelations, N)
 	}
-	seen := map[string]bool{}
 	vocabs := make([]textgen.TaskVocab, N)
 	for i, task := range tasks {
-		if seen[task] {
-			return nil, fmt.Errorf("workload: task %q repeated", task)
-		}
-		seen[task] = true
 		v, ok := textgen.VocabByTask(task)
 		if !ok {
 			return nil, fmt.Errorf("workload: unknown task %q", task)
@@ -115,7 +121,7 @@ func Multi(p Params, tasks []string) (*MultiWorkload, error) {
 			spec.BadSeconds = mgSeconds[n+20 : 2*n+40]
 		}
 		db, err := corpus.Generate(corpus.Config{
-			Name: "target-" + v.Task, NumDocs: p.NumDocs, Seed: p.Seed + int64(i) + 1,
+			Name: fmt.Sprintf("target%d-%s", i+1, v.Task), NumDocs: p.NumDocs, Seed: p.Seed + int64(i) + 1,
 			Relations:  []corpus.RelationSpec{spec},
 			CasualRate: 0.45, CasualPool: mw.Gaz.Companies,
 		})
@@ -174,6 +180,25 @@ func (mw *MultiWorkload) TrueMultiModel(theta float64) (*model.MultiIDJNModel, e
 	return m, nil
 }
 
+// measuredRates characterizes side i's IE rates once, caching the result
+// (θ-independent: TP(θ)/FP(θ) are curves evaluated later).
+func (mw *MultiWorkload) measuredRates(i int) (*extract.Rates, error) {
+	mw.ratesMu.Lock()
+	defer mw.ratesMu.Unlock()
+	if mw.rates == nil {
+		mw.rates = make([]*extract.Rates, len(mw.DBs))
+	}
+	if mw.rates[i] != nil {
+		return mw.rates[i], nil
+	}
+	r, err := extract.MeasureRates(mw.Sys[i], mw.DBs[i])
+	if err != nil {
+		return nil, err
+	}
+	mw.rates[i] = r
+	return r, nil
+}
+
 // trueParams measures the scan-path model parameters of side i.
 func (mw *MultiWorkload) trueParams(i int, theta float64) (*model.RelationParams, error) {
 	db, task := mw.DBs[i], mw.Tasks[i]
@@ -181,7 +206,7 @@ func (mw *MultiWorkload) trueParams(i int, theta float64) (*model.RelationParams
 	if stats == nil {
 		return nil, fmt.Errorf("workload: database %s missing task %s", db.Name, task)
 	}
-	rates, err := extract.MeasureRates(mw.Sys[i], db)
+	rates, err := mw.measuredRates(i)
 	if err != nil {
 		return nil, err
 	}

@@ -37,11 +37,42 @@ func TestMultiValidation(t *testing.T) {
 	if _, err := Multi(Params{NumDocs: 900}, []string{"HQ"}); err == nil {
 		t.Error("expected error for 1 task")
 	}
-	if _, err := Multi(Params{NumDocs: 900}, []string{"HQ", "HQ"}); err == nil {
-		t.Error("expected error for repeated task")
-	}
 	if _, err := Multi(Params{NumDocs: 900}, []string{"HQ", "XX"}); err == nil {
 		t.Error("expected error for unknown task")
+	}
+	if _, err := Multi(Params{NumDocs: 900}, []string{"HQ", "EX", "MG", "HQ", "EX", "MG", "HQ"}); err == nil {
+		t.Error("expected error past MaxRelations tasks")
+	}
+}
+
+// Repeated tasks are allowed (each index gets its own corpus seed and
+// private value ranges) — the k=4+ query workloads depend on it, since only
+// three standard tasks exist.
+func TestMultiRepeatedTasks(t *testing.T) {
+	mw, err := Multi(Params{NumDocs: 500, Seed: 7}, []string{"HQ", "EX", "HQ", "MG"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mw.DBs) != 4 {
+		t.Fatalf("got %d databases, want 4", len(mw.DBs))
+	}
+	if mw.DBs[0].Name == mw.DBs[2].Name {
+		t.Errorf("repeated task shares database name %q", mw.DBs[0].Name)
+	}
+	g0, _ := relation.GoldValueSets(mw.Golds()[0])
+	g2, _ := relation.GoldValueSets(mw.Golds()[2])
+	priv := 0
+	for v := range g2 {
+		if !g0[v] {
+			priv++
+		}
+	}
+	if priv == 0 {
+		t.Error("repeated task has no private good values — relations are identical")
+	}
+	classes := relation.MultiOverlaps(mw.Golds())
+	if classes[relation.AllGood(4)] == 0 {
+		t.Error("no values good in all four relations — core layout broken")
 	}
 }
 

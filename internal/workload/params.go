@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"joinopt/internal/classifier"
 	"joinopt/internal/corpus"
@@ -185,9 +186,15 @@ func valueQueryPrecision(ix *index.Index, stats *corpus.TaskStats) float64 {
 	for v, f := range stats.BadFreq {
 		occ[v] += f
 	}
+	values := make([]string, 0, len(occ))
+	for v := range occ {
+		values = append(values, v)
+	}
+	sort.Strings(values) // deterministic float accumulation order
 	var sum float64
 	var n int
-	for v, o := range occ {
+	for _, v := range values {
+		o := occ[v]
 		hits := len(ix.Matches(index.QueryFromValue(v)))
 		if hits == 0 {
 			continue

@@ -22,13 +22,16 @@
 //   - execution observability — structured tracing (WithTracer) and a
 //     metrics registry with Prometheus-text export (WithMetrics) — with
 //     zero overhead when detached,
-//   - and the experiment drivers regenerating every figure and table of
-//     the paper's evaluation (Task.Figure, Task.TableII).
+//   - the experiment drivers regenerating every figure and table of
+//     the paper's evaluation (Task.Figure, Task.TableII),
+//   - and declarative N-way join queries (NewQuery): a query graph over
+//     2..MaxQueryRelations extracted relations, planned by a DPccp-style
+//     join-tree enumerator with the 2^n-class quality composition and
+//     executed on the tree executor (the binary join is the two-relation
+//     special case of the same API).
 package joinopt
 
 import (
-	"context"
-	"errors"
 	"fmt"
 	"sync"
 
@@ -164,14 +167,22 @@ type RetryPolicy struct {
 	FailureBudget int
 }
 
-// Task is a two-database extraction join task: text databases, IE systems,
-// trained retrieval machinery, and gold labels for evaluation.
+// Task is an extraction join task: text databases, IE systems, trained
+// retrieval machinery, and gold labels for evaluation. NewTaskPair (and the
+// two-relation NewQuery form) builds a binary task with the paper's full
+// plan space; NewQuery over three or more relations builds an n-ary task
+// planned by the DP join-tree enumerator. Methods documented as
+// two-relation-only return a descriptive error on n-ary tasks.
 //
 // A Task is safe for concurrent Run calls (see Run for the exact contract);
 // its exported configuration fields must be set before the first concurrent
 // use and not mutated while runs are in flight.
 type Task struct {
 	w *workload.Workload
+
+	// mw and joins are set instead of w on n-ary query tasks.
+	mw    *workload.MultiWorkload
+	joins [][2]int
 
 	// Workers bounds the optimizer's parallel plan-space evaluation
 	// (0 = one worker per CPU, 1 = sequential). Any setting returns the
@@ -198,6 +209,13 @@ type Task struct {
 	// plans alike — so re-processing a document at the same θ is charged
 	// zero extraction time. Inspect it with ExtractionCacheStats.
 	ExtractCacheBytes int64
+
+	// MergeCost (n-ary tasks) is the cost-model time charged per expected
+	// intermediate tuple at every internal node of the executed join tree —
+	// the knob the DP enumerator's tree choice trades against extraction
+	// effort. Zero (the default) makes tuple composition free, matching the
+	// binary executors' accounting.
+	MergeCost float64
 
 	cacheMu   sync.Mutex
 	cache     *pipeline.Cache
@@ -282,13 +300,19 @@ func NewTaskPair(p WorkloadParams, rel1, rel2 string) (*Task, error) {
 	return &Task{w: w}, nil
 }
 
-// Relations names the two extracted relations.
+// Relations names the first two extracted relations; RelationNames covers
+// every relation of an n-ary task.
 func (t *Task) Relations() (r1, r2 string) {
-	return t.w.DB[0].Gold(t.w.Task[0]).Schema.String(), t.w.DB[1].Gold(t.w.Task[1]).Schema.String()
+	names := t.RelationNames()
+	return names[0], names[1]
 }
 
-// DatabaseSizes returns the document counts of the two databases.
-func (t *Task) DatabaseSizes() (d1, d2 int) { return t.w.DB[0].Size(), t.w.DB[1].Size() }
+// DatabaseSizes returns the document counts of the first two databases;
+// Sizes covers every database of an n-ary task.
+func (t *Task) DatabaseSizes() (d1, d2 int) {
+	sizes := t.Sizes()
+	return sizes[0], sizes[1]
+}
 
 // JoinTuple is one labelled join result ⟨A, B, C⟩: ⟨A, B⟩ ∈ R1,
 // ⟨A, C⟩ ∈ R2; Good reports whether both contributing tuples are correct.
@@ -378,24 +402,6 @@ type Progress struct {
 	Time                  float64
 }
 
-// Execute runs a specific plan to exhaustion, or until stop returns true
-// (stop may be nil).
-//
-// Deprecated: use Run with WithPlan (and WithStop), which adds context
-// cancellation, observability, and the unified error surface. Execute
-// preserves the historical behaviour of reporting a deadline-stopped run as
-// a nil error.
-func (t *Task) Execute(plan Plan, stop StopCondition) (*Outcome, error) {
-	res, err := t.Run(context.Background(), Requirement{}, WithPlan(plan), WithStop(stop))
-	if errors.Is(err, ErrDeadline) {
-		err = nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	return res.Outcome, nil
-}
-
 // PlanEvaluation is the optimizer's model-based assessment of one plan.
 type PlanEvaluation struct {
 	Plan     Plan
@@ -411,10 +417,14 @@ type PlanEvaluation struct {
 // Knobs are the IE knob settings explored by the optimizer.
 var Knobs = []float64{0.4, 0.8}
 
-// EvaluatePlans assesses the full plan space against a requirement using
-// perfect-knowledge model parameters measured on the task's databases —
-// the configuration of the paper's model-accuracy experiments.
+// EvaluatePlans assesses the full two-relation plan space against a
+// requirement using perfect-knowledge model parameters measured on the
+// task's databases — the configuration of the paper's model-accuracy
+// experiments.
 func (t *Task) EvaluatePlans(req Requirement) ([]PlanEvaluation, error) {
+	if err := t.binaryOnly("EvaluatePlans"); err != nil {
+		return nil, err
+	}
 	in, err := t.w.TrueInputs(Knobs)
 	if err != nil {
 		return nil, err
@@ -438,10 +448,14 @@ func (t *Task) EvaluatePlans(req Requirement) ([]PlanEvaluation, error) {
 	return out, nil
 }
 
-// Optimize picks the fastest plan predicted to meet the requirement, using
-// perfect-knowledge parameters. Use RunAdaptive for the end-to-end variant
-// that estimates parameters on the fly.
+// Optimize picks the fastest two-relation plan predicted to meet the
+// requirement, using perfect-knowledge parameters. Use Run for the
+// end-to-end variant that estimates parameters on the fly, and
+// OptimizeQuery for the arity-general form.
 func (t *Task) Optimize(req Requirement) (PlanEvaluation, error) {
+	if err := t.binaryOnly("Optimize"); err != nil {
+		return PlanEvaluation{}, err
+	}
 	in, err := t.w.TrueInputs(Knobs)
 	if err != nil {
 		return PlanEvaluation{}, err
@@ -460,84 +474,19 @@ func (t *Task) Optimize(req Requirement) (PlanEvaluation, error) {
 	}, nil
 }
 
-// AdaptiveOutcome is the result of an end-to-end adaptive optimization run.
-type AdaptiveOutcome struct {
-	// Final is the executed outcome of the (last) chosen plan.
-	Final *Outcome
-	// ChosenPlans lists the optimizer's decisions in order; more than one
-	// entry means the optimizer switched plans mid-execution.
-	ChosenPlans []Plan
-	// TotalTime includes the estimation pilot and any abandoned work.
-	TotalTime float64
-	// CheckpointErrs lists non-fatal optimizer failures at adaptive
-	// checkpoints; the run fell back to finishing its current plan.
-	CheckpointErrs []string
-	// Checkpoint is set when a context-interrupted run can be continued with
-	// ResumeAdaptive; nil on completed runs.
-	Checkpoint *AdaptiveCheckpoint
-}
-
 // AdaptiveCheckpoint is an opaque resumable snapshot of an interrupted
-// adaptive run (see Task.RunAdaptiveCtx).
+// adaptive run (see Task.Run and WithCheckpoint).
 type AdaptiveCheckpoint struct {
 	ck *optimizer.Checkpoint
 }
 
-// RunAdaptive executes the paper's §VI protocol: scan a pilot window,
-// estimate the database statistics by maximum likelihood, choose the
-// fastest plan predicted to meet the requirement, execute it, and
-// re-optimize at checkpoints.
-//
-// Deprecated: use Run, which adds observability and the unified error
-// surface.
-func (t *Task) RunAdaptive(req Requirement) (*AdaptiveOutcome, error) {
-	return t.RunAdaptiveCtx(context.Background(), req)
-}
-
-// RunAdaptiveCtx is RunAdaptive under a context: cancellation stops the run
-// cooperatively at the next execution step and returns the context error
-// together with an outcome whose Checkpoint resumes the run.
-//
-// Deprecated: use Run. RunAdaptiveCtx preserves the historical behaviour of
-// reporting a deadline-stopped run as a nil error.
-func (t *Task) RunAdaptiveCtx(ctx context.Context, req Requirement) (*AdaptiveOutcome, error) {
-	return adaptiveOutcome(t.Run(ctx, req))
-}
-
-// ResumeAdaptive continues an interrupted adaptive run from its checkpoint.
-// The pilot is not re-run; at zero fault rate the resumed run finishes
-// exactly as the uninterrupted one would have.
-//
-// Deprecated: use Run with WithCheckpoint.
-func (t *Task) ResumeAdaptive(req Requirement, ck *AdaptiveCheckpoint) (*AdaptiveOutcome, error) {
-	if ck == nil {
-		return nil, fmt.Errorf("joinopt: nil checkpoint")
-	}
-	return adaptiveOutcome(t.Run(context.Background(), req, WithCheckpoint(ck)))
-}
-
-// adaptiveOutcome converts a RunResult to the legacy AdaptiveOutcome shape,
-// filtering the deadline sentinel the old API never surfaced.
-func adaptiveOutcome(res *RunResult, err error) (*AdaptiveOutcome, error) {
-	if errors.Is(err, ErrDeadline) {
-		err = nil
-	}
-	if res == nil {
-		return nil, err
-	}
-	return &AdaptiveOutcome{
-		Final:          res.Outcome,
-		ChosenPlans:    res.Plans,
-		TotalTime:      res.TotalTime,
-		CheckpointErrs: res.CheckpointErrs,
-		Checkpoint:     res.Checkpoint,
-	}, err
-}
-
 // Figure regenerates one of the paper's evaluation figures ("fig9",
-// "fig10", "fig11", "fig12") and returns its text rendering (estimated vs
-// actual series).
+// "fig10", "fig11", "fig12") over a two-relation task and returns its text
+// rendering (estimated vs actual series).
 func (t *Task) Figure(id string) (string, error) {
+	if err := t.binaryOnly("Figure"); err != nil {
+		return "", err
+	}
 	switch id {
 	case "fig9":
 		f, err := experiments.Fig9(t.w)
@@ -556,9 +505,12 @@ func (t *Task) Figure(id string) (string, error) {
 	}
 }
 
-// TableII regenerates the paper's Table II over this task and returns its
-// text rendering.
+// TableII regenerates the paper's Table II over a two-relation task and
+// returns its text rendering.
 func (t *Task) TableII() (string, error) {
+	if err := t.binaryOnly("TableII"); err != nil {
+		return "", err
+	}
 	rows, err := experiments.Table2(t.w)
 	if err != nil {
 		return "", err
@@ -573,24 +525,43 @@ func render(f interface{ String() string }, err error) (string, error) {
 	return f.String(), nil
 }
 
+// golds returns the task's gold sets in query order.
+func (t *Task) golds() []*relation.Gold {
+	if t.mw != nil {
+		return t.mw.Golds()
+	}
+	return []*relation.Gold{t.w.DB[0].Gold(t.w.Task[0]), t.w.DB[1].Gold(t.w.Task[1])}
+}
+
 // GoldJoinSize returns the number of good join tuples derivable from the
 // gold sets at full extraction — an upper bound on any plan's good output.
+// On an n-ary task it counts the k-way good composition.
 func (t *Task) GoldJoinSize() int {
-	g1 := t.w.DB[0].Gold(t.w.Task[0])
-	g2 := t.w.DB[1].Gold(t.w.Task[1])
-	byVal := map[string]int{}
-	for tup := range g2.Good {
-		byVal[tup.A1]++
+	golds := t.golds()
+	counts := make([]map[string]int, len(golds))
+	for i, g := range golds {
+		counts[i] = map[string]int{}
+		for tup := range g.Good {
+			counts[i][tup.A1]++
+		}
 	}
 	total := 0
-	for tup := range g1.Good {
-		total += byVal[tup.A1]
+	for v, c := range counts[0] {
+		prod := c
+		for i := 1; i < len(counts); i++ {
+			prod *= counts[i][v]
+		}
+		total += prod
 	}
 	return total
 }
 
-// Gold reports whether a join tuple is good per the gold sets.
+// Gold reports whether a two-relation join tuple is good per the gold sets
+// (always false on n-ary tasks, whose tuples are not ⟨A, B, C⟩-shaped).
 func (t *Task) Gold(jt JoinTuple) bool {
+	if t.w == nil {
+		return false
+	}
 	g1 := t.w.DB[0].Gold(t.w.Task[0])
 	g2 := t.w.DB[1].Gold(t.w.Task[1])
 	return g1.IsGood(relation.Tuple{A1: jt.A, A2: jt.B}) && g2.IsGood(relation.Tuple{A1: jt.A, A2: jt.C})
@@ -601,6 +572,9 @@ func (t *Task) Gold(jt JoinTuple) bool {
 // output still reaches τg and its sigma-inflated bad output stays within
 // τb. Larger sigma yields more conservative (and typically costlier) plans.
 func (t *Task) OptimizeRobust(req Requirement, sigma float64) (PlanEvaluation, error) {
+	if err := t.binaryOnly("OptimizeRobust"); err != nil {
+		return PlanEvaluation{}, err
+	}
 	in, err := t.w.TrueInputs(Knobs)
 	if err != nil {
 		return PlanEvaluation{}, err
@@ -635,6 +609,9 @@ func (t *Task) OptimizeRecall(recall float64) (PlanEvaluation, Requirement, erro
 }
 
 func (t *Task) optimizePreferred(pref optimizer.Preference) (PlanEvaluation, Requirement, error) {
+	if err := t.binaryOnly("preference optimization"); err != nil {
+		return PlanEvaluation{}, Requirement{}, err
+	}
 	in, err := t.w.TrueInputs(Knobs)
 	if err != nil {
 		return PlanEvaluation{}, Requirement{}, err
@@ -657,6 +634,9 @@ func (t *Task) optimizePreferred(pref optimizer.Preference) (PlanEvaluation, Req
 // execution-time budget — the paper's time-budget preference. maxBadPerGood
 // bounds the output's bad-to-good ratio (≤ 0 disables the constraint).
 func (t *Task) OptimizeWithinBudget(budget, maxBadPerGood float64) (PlanEvaluation, error) {
+	if err := t.binaryOnly("OptimizeWithinBudget"); err != nil {
+		return PlanEvaluation{}, err
+	}
 	in, err := t.w.TrueInputs(Knobs)
 	if err != nil {
 		return PlanEvaluation{}, err

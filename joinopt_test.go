@@ -49,10 +49,12 @@ func TestFacadeExecutePlan(t *testing.T) {
 		Theta:     [2]float64{0.4, 0.4},
 		X:         [2]joinopt.Strategy{joinopt.Scan, joinopt.Scan},
 	}
-	out, err := tk.Execute(plan, func(p joinopt.Progress) bool { return p.GoodTuples >= 8 })
+	res, err := tk.Run(context.Background(), joinopt.Requirement{}, joinopt.WithPlan(plan),
+		joinopt.WithStop(func(p joinopt.Progress) bool { return p.GoodTuples >= 8 }))
 	if err != nil {
 		t.Fatal(err)
 	}
+	out := res.Outcome
 	if out.GoodTuples < 8 {
 		t.Errorf("stopped with %d good tuples", out.GoodTuples)
 	}
@@ -81,13 +83,14 @@ func TestFacadeExecuteAllAlgorithms(t *testing.T) {
 		{Algorithm: joinopt.ZigZagJoin, Theta: [2]float64{0.4, 0.4}},
 	}
 	for _, plan := range plans {
-		out, err := tk.Execute(plan, func(p joinopt.Progress) bool {
-			return p.DocsProcessed[0]+p.DocsProcessed[1] >= 400
-		})
+		res, err := tk.Run(context.Background(), joinopt.Requirement{}, joinopt.WithPlan(plan),
+			joinopt.WithStop(func(p joinopt.Progress) bool {
+				return p.DocsProcessed[0]+p.DocsProcessed[1] >= 400
+			}))
 		if err != nil {
 			t.Fatalf("%s: %v", plan, err)
 		}
-		if out.DocsProcessed[0]+out.DocsProcessed[1] == 0 {
+		if out := res.Outcome; out.DocsProcessed[0]+out.DocsProcessed[1] == 0 {
 			t.Errorf("%s processed nothing", plan)
 		}
 	}
@@ -134,17 +137,17 @@ func TestFacadeEvaluatePlans(t *testing.T) {
 
 func TestFacadeRunAdaptive(t *testing.T) {
 	tk := facadeTask(t)
-	res, err := tk.RunAdaptive(joinopt.Requirement{TauG: 8, TauB: 200})
+	res, err := tk.Run(context.Background(), joinopt.Requirement{TauG: 8, TauB: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Final == nil || len(res.ChosenPlans) == 0 {
+	if res.Outcome == nil || len(res.Plans) == 0 {
 		t.Fatal("adaptive run incomplete")
 	}
-	if res.Final.GoodTuples < 8 {
-		t.Errorf("adaptive run delivered %d good tuples", res.Final.GoodTuples)
+	if res.Outcome.GoodTuples < 8 {
+		t.Errorf("adaptive run delivered %d good tuples", res.Outcome.GoodTuples)
 	}
-	if res.TotalTime < res.Final.Time {
+	if res.TotalTime < res.Outcome.Time {
 		t.Error("total time must include the pilot")
 	}
 }
@@ -158,19 +161,21 @@ func TestFacadeFaultInjection(t *testing.T) {
 		Theta:     [2]float64{0.4, 0.4},
 		X:         [2]joinopt.Strategy{joinopt.Scan, joinopt.Scan},
 	}
-	clean, err := tk.Execute(plan, nil)
+	cleanRes, err := tk.Run(context.Background(), joinopt.Requirement{}, joinopt.WithPlan(plan))
 	if err != nil {
 		t.Fatal(err)
 	}
+	clean := cleanRes.Outcome
 	if clean.RetriesSpent != [2]int{} || clean.Degraded {
 		t.Fatalf("clean run reports fault telemetry: %+v", clean)
 	}
 
 	tk.Faults = joinopt.UniformFaults(5, 0.02)
-	faulty, err := tk.Execute(plan, nil)
+	faultyRes, err := tk.Run(context.Background(), joinopt.Requirement{}, joinopt.WithPlan(plan))
 	if err != nil {
 		t.Fatal(err)
 	}
+	faulty := faultyRes.Outcome
 	if faulty.RetriesSpent == [2]int{} {
 		t.Error("fault injection did not engage")
 	}
@@ -184,10 +189,11 @@ func TestFacadeFaultInjection(t *testing.T) {
 
 	tk.Faults = nil
 	tk.Deadline = clean.Time / 4
-	cut, err := tk.Execute(plan, nil)
-	if err != nil {
-		t.Fatal(err)
+	cutRes, err := tk.Run(context.Background(), joinopt.Requirement{}, joinopt.WithPlan(plan))
+	if !errors.Is(err, joinopt.ErrDeadline) {
+		t.Fatalf("deadline-stopped run returned %v, want ErrDeadline", err)
 	}
+	cut := cutRes.Outcome
 	if !cut.DeadlineHit || cut.DocsProcessed[0]+cut.DocsProcessed[1] >= clean.DocsProcessed[0]+clean.DocsProcessed[1] {
 		t.Errorf("deadline did not cut the run: %+v", cut)
 	}
@@ -202,52 +208,6 @@ func TestFacadeParseFaultProfile(t *testing.T) {
 	}
 	if _, err := joinopt.ParseFaultProfile("rate=high"); err == nil {
 		t.Error("malformed profile must be rejected")
-	}
-}
-
-func TestFacadeAdaptiveResume(t *testing.T) {
-	tk := facadeTask(t)
-	req := joinopt.Requirement{TauG: 8, TauB: 200}
-	base, err := tk.RunAdaptive(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// A pre-cancelled context interrupts deterministically at the first
-	// post-pilot step; the checkpoint must resume to the identical outcome.
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	interrupted, err := tk.RunAdaptiveCtx(ctx, req)
-	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("err = %v, want context.Canceled", err)
-	}
-	if interrupted == nil || interrupted.Checkpoint == nil {
-		t.Fatal("interrupted run carries no checkpoint")
-	}
-	if interrupted.Final != nil {
-		t.Error("interrupted run must not claim a final outcome")
-	}
-
-	resumed, err := tk.ResumeAdaptive(req, interrupted.Checkpoint)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resumed.Final == nil {
-		t.Fatal("resumed run incomplete")
-	}
-	if resumed.Final.GoodTuples != base.Final.GoodTuples ||
-		resumed.Final.BadTuples != base.Final.BadTuples ||
-		resumed.TotalTime != base.TotalTime {
-		t.Errorf("resumed run diverged: good=%d bad=%d time=%v vs baseline good=%d bad=%d time=%v",
-			resumed.Final.GoodTuples, resumed.Final.BadTuples, resumed.TotalTime,
-			base.Final.GoodTuples, base.Final.BadTuples, base.TotalTime)
-	}
-	if len(resumed.ChosenPlans) != len(base.ChosenPlans) {
-		t.Errorf("resumed decisions %v != baseline %v", resumed.ChosenPlans, base.ChosenPlans)
-	}
-
-	if _, err := tk.ResumeAdaptive(req, nil); err == nil {
-		t.Error("nil checkpoint must be rejected")
 	}
 }
 
@@ -395,10 +355,11 @@ func TestFacadeVerification(t *testing.T) {
 		Theta:     [2]float64{0.4, 0.4},
 		X:         [2]joinopt.Strategy{joinopt.Scan, joinopt.Scan},
 	}
-	out, err := tk.Execute(plan, nil)
+	res, err := tk.Run(context.Background(), joinopt.Requirement{}, joinopt.WithPlan(plan))
 	if err != nil {
 		t.Fatal(err)
 	}
+	out := res.Outcome
 	tuples := out.Tuples()
 	rawPrec := float64(out.GoodTuples) / float64(out.GoodTuples+out.BadTuples)
 	kept, keptGood := 0, 0

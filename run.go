@@ -31,6 +31,8 @@ type runConfig struct {
 	workers     *int
 	execWorkers *int
 	cacheBytes  *int64
+
+	qstop func(QueryProgress) bool
 }
 
 // WithPlan pins the run to a specific execution plan instead of letting the
@@ -46,6 +48,12 @@ func WithPlan(plan Plan) RunOption {
 // stopping policy is the optimizer's.
 func WithStop(stop StopCondition) RunOption {
 	return func(c *runConfig) { c.stop = stop }
+}
+
+// WithQueryStop installs a stop condition on an n-ary query run; it is
+// inspected after every executor step. Two-relation runs use WithStop.
+func WithQueryStop(stop func(QueryProgress) bool) RunOption {
+	return func(c *runConfig) { c.qstop = stop }
 }
 
 // WithFaults overrides the task's fault profile for this run (nil disables
@@ -131,6 +139,10 @@ type RunResult struct {
 	TotalTime      float64
 	CheckpointErrs []string
 	Checkpoint     *AdaptiveCheckpoint
+
+	// Query is set instead of Outcome on n-ary query runs: the chosen plan
+	// and the executed per-relation statistics.
+	Query *QueryOutcome
 }
 
 // configure merges the task defaults with the per-run options and pushes the
@@ -194,8 +206,14 @@ func (t *Task) configure(opts []RunOption) (*runConfig, *workload.Workload) {
 // Checkpoint on adaptive runs) together with ctx.Err(); a deadline-stopped
 // run returns its result together with an error wrapping ErrDeadline.
 //
-// Run replaces Execute, RunAdaptive, RunAdaptiveCtx, and ResumeAdaptive,
-// which remain as thin deprecated wrappers.
+// On an n-ary query task (NewQuery over three or more relations) Run
+// instead plans the query with the DP join-tree enumerator against
+// perfect-knowledge measured parameters and executes the chosen tree: the
+// result's Query field carries the plan and per-relation statistics, and
+// WithQueryStop, WithWorkers, WithExecWorkers, WithExtractionCache,
+// WithDeadline, and WithTracer apply; the two-relation-only options
+// (WithPlan, WithStop, fault injection, retries, checkpoints, metrics)
+// return a descriptive error.
 //
 // A Task is safe for concurrent Run calls: each run executes against a
 // private view of the workload, sharing only the immutable machinery, the
@@ -204,9 +222,12 @@ func (t *Task) configure(opts []RunOption) (*runConfig, *workload.Workload) {
 // and its clock follows whichever executor was constructed last); a shared
 // Metrics registry is safe but accumulates all runs into the same series.
 // The Task's configuration fields (Workers, Faults, Retry, Deadline,
-// ExecWorkers, ExtractCacheBytes) must not be mutated while runs are in
-// flight — configure them up front or per call via options.
+// ExecWorkers, ExtractCacheBytes, MergeCost) must not be mutated while runs
+// are in flight — configure them up front or per call via options.
 func (t *Task) Run(ctx context.Context, req Requirement, opts ...RunOption) (*RunResult, error) {
+	if t.mw != nil {
+		return t.runQuery(ctx, req, opts)
+	}
 	cfg, w := t.configure(opts)
 	if cfg.plan != nil {
 		return t.runFixed(ctx, w, cfg)

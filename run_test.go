@@ -36,16 +36,6 @@ func TestRunFixedPlan(t *testing.T) {
 	if res.Checkpoint != nil || len(res.CheckpointErrs) != 0 {
 		t.Error("fixed-plan run must not carry adaptive state")
 	}
-
-	// Parity with the deprecated wrapper on the same deterministic task.
-	out, err := tk.Execute(plan, func(p joinopt.Progress) bool { return p.GoodTuples >= 8 })
-	if err != nil {
-		t.Fatal(err)
-	}
-	if out.GoodTuples != res.Outcome.GoodTuples ||
-		out.BadTuples != res.Outcome.BadTuples || out.Time != res.Outcome.Time {
-		t.Errorf("Execute outcome diverged from Run: %+v vs %+v", out, res.Outcome)
-	}
 }
 
 // TestRunMetricsMatchOutcomeFixed is the acceptance invariant on a fixed
@@ -184,15 +174,15 @@ func TestRunDeadlineSurface(t *testing.T) {
 		t.Errorf("stopped at %v, before the deadline", res.Outcome.Time)
 	}
 
-	// The deprecated wrapper filters the sentinel: nil error, outcome kept.
+	// The task-level deadline surfaces identically.
 	tk.Deadline = 50
 	defer func() { tk.Deadline = 0 }()
-	out, err := tk.Execute(scanPlan(), nil)
-	if err != nil {
-		t.Fatalf("Execute must keep its historical nil-error deadline: %v", err)
+	res2, err := tk.Run(context.Background(), joinopt.Requirement{}, joinopt.WithPlan(scanPlan()))
+	if !errors.Is(err, joinopt.ErrDeadline) {
+		t.Fatalf("task-level deadline returned %v, want ErrDeadline", err)
 	}
-	if !out.DeadlineHit {
-		t.Error("Execute outcome lost the deadline flag")
+	if !res2.Outcome.DeadlineHit {
+		t.Error("task-level deadline lost the flag")
 	}
 }
 
@@ -219,11 +209,12 @@ func TestRunFailureBudgetSurface(t *testing.T) {
 	}
 
 	// The per-call options must not stick: a plain run afterwards is clean.
-	out, err := tk.Execute(scanPlan(), func(p joinopt.Progress) bool { return p.GoodTuples >= 4 })
+	res, err := tk.Run(context.Background(), joinopt.Requirement{}, joinopt.WithPlan(scanPlan()),
+		joinopt.WithStop(func(p joinopt.Progress) bool { return p.GoodTuples >= 4 }))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.RetriesSpent != [2]int{} || out.DocsFailed != [2]int{} {
+	if out := res.Outcome; out.RetriesSpent != [2]int{} || out.DocsFailed != [2]int{} {
 		t.Errorf("per-call fault options leaked into the next run: %+v", out)
 	}
 }

@@ -1,47 +1,40 @@
 package joinopt
 
-import (
-	"joinopt/internal/join"
-	"joinopt/internal/retrieval"
-	"joinopt/internal/workload"
-)
-
-// ThreeWayTask is the higher-order join extension (the paper's stated
-// future work): three relations extracted from three text databases and
-// joined on the shared attribute. The extension's scope is scan-based
-// independent extraction (the n-ary IDJN) with the generalized 2^n-class
-// composition model.
+// ThreeWayTask predates the query API: three relations extracted from three
+// text databases and joined on the shared attribute, executed by scan-based
+// independent extraction with the generalized 2^n-class composition model.
+// It is now a thin shim over the query API and pins its historical
+// behaviour bit-for-bit (the golden test in query_test.go).
+//
+// Deprecated: use NewQuery, which generalizes to 2..MaxQueryRelations
+// relations, declarative join predicates, DP-planned join trees, and the
+// unified Run surface.
 type ThreeWayTask struct {
-	mw *workload.MultiWorkload
+	q *Task
 }
 
-// NewThreeWay builds a three-relation join task over distinct standard
-// tasks ("HQ", "EX", "MG").
+// NewThreeWay builds a three-relation join task over the standard tasks
+// ("HQ", "EX", "MG").
+//
+// Deprecated: use NewQuery with three Relations.
 func NewThreeWay(p WorkloadParams, rel1, rel2, rel3 string) (*ThreeWayTask, error) {
-	if p.NumDocs == 0 {
-		p.NumDocs = workload.DefaultParams.NumDocs
-	}
-	if p.Seed == 0 {
-		p.Seed = workload.DefaultParams.Seed
-	}
-	mw, err := workload.Multi(workload.Params{NumDocs: p.NumDocs, Seed: p.Seed, TopK: p.TopK},
-		[]string{rel1, rel2, rel3})
+	q, err := NewQuery(p, Query{Relations: []string{rel1, rel2, rel3}})
 	if err != nil {
 		return nil, err
 	}
-	return &ThreeWayTask{mw: mw}, nil
+	return &ThreeWayTask{q: q}, nil
 }
 
 // Relations names the three extracted relations.
 func (t *ThreeWayTask) Relations() [3]string {
 	var out [3]string
-	for i, g := range t.mw.Golds() {
-		out[i] = g.Schema.String()
-	}
+	copy(out[:], t.q.RelationNames())
 	return out
 }
 
 // ThreeWayOutcome summarizes an executed three-way join.
+//
+// Deprecated: QueryOutcome is the arity-general form.
 type ThreeWayOutcome struct {
 	GoodTuples    int
 	BadTuples     int
@@ -50,6 +43,8 @@ type ThreeWayOutcome struct {
 }
 
 // ThreeWayProgress is the live state visible to a stop condition.
+//
+// Deprecated: QueryProgress is the arity-general form.
 type ThreeWayProgress struct {
 	GoodTuples, BadTuples int
 	DocsProcessed         [3]int
@@ -58,36 +53,28 @@ type ThreeWayProgress struct {
 
 // Execute runs the n-ary Independent Join with per-side knob settings,
 // scanning all three databases, until exhaustion or stop returns true.
+//
+// Deprecated: use Task.ExecuteQuery (pinned knobs) or Task.Run (optimized).
 func (t *ThreeWayTask) Execute(thetas [3]float64, stop func(ThreeWayProgress) bool) (*ThreeWayOutcome, error) {
-	sides := make([]*join.Side, 3)
-	strats := make([]retrieval.Strategy, 3)
-	for i := 0; i < 3; i++ {
-		sides[i] = t.mw.Side(i, thetas[i])
-		strats[i] = t.mw.Scan(i)
-	}
-	e, err := join.NewMultiIDJN(sides, strats)
-	if err != nil {
-		return nil, err
-	}
-	var sf func(*join.MultiState) bool
+	var qs func(QueryProgress) bool
 	if stop != nil {
-		sf = func(st *join.MultiState) bool {
+		qs = func(p QueryProgress) bool {
 			return stop(ThreeWayProgress{
-				GoodTuples: st.GoodTuples, BadTuples: st.BadTuples,
-				DocsProcessed: [3]int{st.DocsProcessed[0], st.DocsProcessed[1], st.DocsProcessed[2]},
-				Time:          st.Time,
+				GoodTuples: p.GoodTuples, BadTuples: p.BadTuples,
+				DocsProcessed: [3]int{p.DocsProcessed[0], p.DocsProcessed[1], p.DocsProcessed[2]},
+				Time:          p.Time,
 			})
 		}
 	}
-	st, err := join.RunMulti(e, sf)
+	out, err := t.q.ExecuteQuery(thetas[:], qs)
 	if err != nil {
 		return nil, err
 	}
 	return &ThreeWayOutcome{
-		GoodTuples:    st.GoodTuples,
-		BadTuples:     st.BadTuples,
-		Time:          st.Time,
-		DocsProcessed: [3]int{st.DocsProcessed[0], st.DocsProcessed[1], st.DocsProcessed[2]},
+		GoodTuples:    out.GoodTuples,
+		BadTuples:     out.BadTuples,
+		Time:          out.Time,
+		DocsProcessed: [3]int{out.DocsProcessed[0], out.DocsProcessed[1], out.DocsProcessed[2]},
 	}, nil
 }
 
@@ -95,12 +82,12 @@ func (t *ThreeWayTask) Execute(thetas [3]float64, stop func(ThreeWayProgress) bo
 // settings with the generalized composition model (all sides share one θ
 // for simplicity of the extension's surface).
 func (t *ThreeWayTask) Predict(theta float64) (good, bad float64, err error) {
-	m, err := t.mw.TrueMultiModel(theta)
+	m, err := t.q.mw.TrueMultiModel(theta)
 	if err != nil {
 		return 0, 0, err
 	}
-	efforts := make([]int, len(t.mw.DBs))
-	for i, db := range t.mw.DBs {
+	efforts := make([]int, len(t.q.mw.DBs))
+	for i, db := range t.q.mw.DBs {
 		efforts[i] = db.Size()
 	}
 	q, err := m.Estimate(efforts)

@@ -18,6 +18,9 @@ type verifierKey struct {
 }
 
 func (t *Task) templateVerifier(side int, minScore float64, minStrong int) (*verify.TemplateVerifier, error) {
+	if err := t.binaryOnly("verification"); err != nil {
+		return nil, err
+	}
 	t.verifierMu.Lock()
 	defer t.verifierMu.Unlock()
 	if t.verifiers == nil {
