@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/optimizer/... ./internal/join/... ./internal/faults/... ./internal/workload/... ./internal/obs/... ./internal/pipeline/... ./internal/service/... ./internal/durable/...
+	$(GO) test -race ./internal/optimizer/... ./internal/join/... ./internal/faults/... ./internal/workload/... ./internal/obs/... ./internal/pipeline/... ./internal/shard/... ./internal/service/... ./internal/durable/...
 	$(GO) test -race -run TestConcurrentRunsOnOneTask -count=1 .
 
 transparency:
@@ -61,15 +61,17 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkChoose' -benchtime 10x .
 
 # bench-json runs the pipelined-executor benchmarks (all three algorithms,
-# sequential vs 4 workers, plus the plan-space sweep) and captures the results
-# as BENCH_exec.json. Each benchmark runs for a real duration, three times;
+# sequential vs 4 workers, the sharded scatter-gather scaling sweep, and the
+# binary + n-ary plan-space sweeps) and captures the results as
+# BENCH_exec.json. Each benchmark runs for a real duration, three times;
 # benchjson records the median, so the committed numbers are not 3-iteration
 # noise. bench-json-check verifies the recorded speedups; on a single-CPU
 # machine the check is skipped (overlap cannot help there) with a loud
-# warning — CI runs the same check with -require-parallel, which fails
-# instead of skipping.
+# warning — benchjson refuses single-CPU artifacts by default, so the local
+# flow passes -allow-single-cpu explicitly; CI runs the same check with
+# -require-parallel, which fails instead of skipping.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkExec(IDJN|OIJN|ZGJN)8k|BenchmarkChoosePlanSpace8k' -benchtime 1s -count 3 . \
+	$(GO) test -run '^$$' -bench 'BenchmarkExec(IDJN|OIJN|ZGJN|ShardedIDJN)8k|BenchmarkChoosePlanSpace8k|BenchmarkChooseNary' -benchtime 1s -count 3 . \
 		| $(GO) run ./cmd/benchjson -o BENCH_exec.json
 	@cat BENCH_exec.json
 
@@ -77,14 +79,14 @@ bench-json-check: bench-json
 	@if [ "$$(nproc 2>/dev/null || echo 1)" -lt 2 ]; then \
 		echo "================================================================"; \
 		echo "WARNING: this machine has fewer than 2 CPUs."; \
-		echo "The seq-vs-workers4 speedup gate below will be SKIPPED, not"; \
-		echo "passed: a parallel speedup is impossible on one core. Run"; \
-		echo "'make bench-json-check' on a multi-core machine (or rely on CI,"; \
-		echo "which enforces it with -require-parallel) before trusting the"; \
-		echo "pipelined-executor numbers."; \
+		echo "The seq-vs-workers4 and shards1-vs-shards4 speedup gates below"; \
+		echo "will be SKIPPED, not passed: a parallel speedup is impossible"; \
+		echo "on one core. Run 'make bench-json-check' on a multi-core"; \
+		echo "machine (or rely on CI, which enforces both gates with"; \
+		echo "-require-parallel) before trusting the recorded numbers."; \
 		echo "================================================================"; \
 	fi
-	$(GO) run ./cmd/benchjson -check BENCH_exec.json
+	$(GO) run ./cmd/benchjson -check BENCH_exec.json -allow-single-cpu
 
 # bench-service boots joinoptd under admission pressure (small queue, tight
 # tenant quotas), drives it with loadgen's closed loop, and records the

@@ -16,6 +16,7 @@ import (
 	"joinopt/internal/join"
 	"joinopt/internal/model"
 	"joinopt/internal/optimizer"
+	"joinopt/internal/querygraph"
 	"joinopt/internal/retrieval"
 	"joinopt/internal/workload"
 )
@@ -484,6 +485,62 @@ func BenchmarkChoosePlanSpace8k(b *testing.B) {
 			cp.Reset()
 			if _, _, err := optimizer.Choose(plans, &cp, req); err != nil {
 				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}
+
+var (
+	benchNaryOnce sync.Once
+	benchNaryG    *querygraph.Graph
+	benchNaryIn   *optimizer.NaryInputs
+	benchNaryErr  error
+)
+
+// benchNaryInputs builds the four-relation chain workload and its
+// perfect-knowledge inputs shared by the n-ary plan-choice benchmark;
+// construction cost is excluded from timings.
+func benchNaryInputs(b *testing.B) (*querygraph.Graph, *optimizer.NaryInputs) {
+	b.Helper()
+	benchNaryOnce.Do(func() {
+		mw, err := workload.Multi(workload.Params{NumDocs: 2000, Seed: 1}, []string{"HQ", "EX", "MG", "HQ"})
+		if err != nil {
+			benchNaryErr = err
+			return
+		}
+		if benchNaryG, benchNaryErr = mw.Graph(nil); benchNaryErr != nil {
+			return
+		}
+		benchNaryIn, benchNaryErr = mw.TrueNaryInputs([]float64{0.4, 0.8})
+	})
+	if benchNaryErr != nil {
+		b.Fatal(benchNaryErr)
+	}
+	return benchNaryG, benchNaryIn
+}
+
+// BenchmarkChooseNary measures the DP join-tree enumerator over a k=4 chain:
+// a sweep of requirement points against the same tree and leaf-knob space,
+// sequential versus parallel plan evaluation. This is the optimizer-side
+// cost that sharded execution must not regress — plan choice runs once per
+// adaptive checkpoint regardless of shard count.
+func BenchmarkChooseNary(b *testing.B) {
+	g, in := benchNaryInputs(b)
+	reqs := []optimizer.Requirement{
+		{TauG: 8, TauB: 1 << 30},
+		{TauG: 32, TauB: 1 << 30},
+		{TauG: 64, TauB: 1 << 30},
+	}
+	run := func(b *testing.B, workers int) {
+		in.Workers = workers
+		defer func() { in.Workers = 0 }()
+		for i := 0; i < b.N; i++ {
+			for _, req := range reqs {
+				if _, _, err := optimizer.ChooseNary(g, in, req); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	}

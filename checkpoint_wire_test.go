@@ -1,6 +1,7 @@
 package joinopt_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -78,6 +79,86 @@ func TestCheckpointSerializedResumeMatchesUninterrupted(t *testing.T) {
 		if bt[i] != bb[i] {
 			t.Fatalf("tuple %d diverged: %+v vs %+v", i, bb[i], bt[i])
 		}
+	}
+}
+
+// TestShardedCheckpointResumeMatchesUninterrupted extends the codec-level
+// recovery property to scatter-gather execution: a sharded run's checkpoint
+// carries per-shard progress over the wire, and a fresh sharded task resumed
+// from the decoded bytes reproduces the uninterrupted sharded run — which is
+// itself bit-identical to the unsharded one — exactly.
+func TestShardedCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	params := joinopt.WorkloadParams{NumDocs: 400, Seed: 7}
+	req := joinopt.Requirement{TauG: 8, TauB: 200}
+
+	shardedTask := func() *joinopt.Task {
+		tk, err := joinopt.NewTaskPair(params, "HQ", "EX")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk.Shards = 4
+		return tk
+	}
+
+	base, err := shardedTask().Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ct := &cancelTracer{cancel: cancel, trigger: 25}
+	interrupted, err := shardedTask().Run(ctx, req, joinopt.WithTracer(joinopt.NewTrace(ct)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if interrupted.Checkpoint == nil {
+		t.Fatal("interrupted run carries no checkpoint")
+	}
+
+	wire, err := json.Marshal(interrupted.Checkpoint)
+	if err != nil {
+		t.Fatalf("encoding checkpoint: %v", err)
+	}
+	if !bytes.Contains(wire, []byte(`"shard_docs"`)) {
+		t.Errorf("sharded checkpoint wire carries no per-shard progress: %s", wire)
+	}
+	decoded, err := joinopt.DecodeCheckpoint(wire)
+	if err != nil {
+		t.Fatalf("decoding checkpoint: %v", err)
+	}
+
+	resumed, err := shardedTask().Run(context.Background(), req, joinopt.WithCheckpoint(decoded))
+	if err != nil {
+		t.Fatalf("resume from decoded checkpoint failed: %v", err)
+	}
+	if resumed.Outcome.GoodTuples != base.Outcome.GoodTuples ||
+		resumed.Outcome.BadTuples != base.Outcome.BadTuples ||
+		resumed.Outcome.Time != base.Outcome.Time ||
+		resumed.TotalTime != base.TotalTime {
+		t.Errorf("resumed sharded run diverged: good %d/%d bad %d/%d time %v/%v total %v/%v",
+			resumed.Outcome.GoodTuples, base.Outcome.GoodTuples,
+			resumed.Outcome.BadTuples, base.Outcome.BadTuples,
+			resumed.Outcome.Time, base.Outcome.Time,
+			resumed.TotalTime, base.TotalTime)
+	}
+
+	// The sharded run itself must match the unsharded task on the same
+	// workload — sharding never changes what a run produces or charges.
+	plain, err := joinopt.NewTaskPair(params, "HQ", "EX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsharded, err := plain.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Outcome.GoodTuples != unsharded.Outcome.GoodTuples ||
+		base.Outcome.BadTuples != unsharded.Outcome.BadTuples ||
+		base.TotalTime != unsharded.TotalTime {
+		t.Errorf("sharded run diverged from unsharded: good %d/%d bad %d/%d total %v/%v",
+			base.Outcome.GoodTuples, unsharded.Outcome.GoodTuples,
+			base.Outcome.BadTuples, unsharded.Outcome.BadTuples,
+			base.TotalTime, unsharded.TotalTime)
 	}
 }
 

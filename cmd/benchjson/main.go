@@ -10,14 +10,18 @@
 //	go test -run '^$' -bench 'BenchmarkExec' -count 3 . | benchjson -o BENCH_exec.json
 //
 // Check mode: `benchjson -check BENCH_exec.json` verifies every
-// BenchmarkExec*/seq vs /workers4 pair. The report records the GOMAXPROCS the
-// benchmarks ran under; on a single-CPU box a parallel speedup is impossible
-// by construction, so the check skips (exit 0) below 2 CPUs rather than fail
-// on hardware the claim does not apply to — unless -require-parallel is set,
-// which turns that skip into a failure (CI uses it so the gate can never be
-// silently bypassed by a mis-provisioned runner). With 2–3 CPUs the pipeline
-// must at least not lose to sequential (within -slack); at 4+ CPUs the IDJN
-// pair must reach -min-speedup (default 2×).
+// BenchmarkExec*/seq vs /workers4 pair, plus the scatter-gather scaling pair
+// BenchmarkExecShardedIDJN8k/shards1 vs /shards4. The report records the
+// GOMAXPROCS the benchmarks ran under; on a single-CPU box a parallel
+// speedup is impossible by construction, so a sub-2-CPU artifact is refused
+// outright — it is not a valid comparison baseline, and treating it as one
+// would let a mis-provisioned recording quietly disable every gate. Pass
+// -allow-single-cpu to downgrade that refusal to a skip (exit 0) for local
+// runs on small machines; -require-parallel keeps the refusal even then (CI
+// sets it so the gate can never be bypassed). With 2–3 CPUs pipelined and
+// sharded execution must at least not lose to sequential (within -slack); at
+// 4+ CPUs the IDJN pair must reach -min-speedup (default 2×) and the
+// shards1/shards4 pair must reach -min-shard-speedup (default 2.5×).
 package main
 
 import (
@@ -134,8 +138,9 @@ func merge(benches []Benchmark) []Benchmark {
 	return out
 }
 
-// check verifies the seq-vs-workers4 pairs in a previously emitted report.
-func check(path string, minSpeedup, slack float64, requireParallel bool) error {
+// check verifies the seq-vs-workers4 and shards1-vs-shards4 pairs in a
+// previously emitted report.
+func check(path string, minSpeedup, minShardSpeedup, slack float64, requireParallel, allowSingleCPU bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -145,13 +150,13 @@ func check(path string, minSpeedup, slack float64, requireParallel bool) error {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	if rep.GoMaxProcs < 2 {
-		if requireParallel {
-			return fmt.Errorf("report was produced at GOMAXPROCS=%d but -require-parallel is set: "+
-				"the speedup gate needs a multi-core run (re-record BENCH_exec.json on a >= 2-core machine)",
-				rep.GoMaxProcs)
+		if allowSingleCPU && !requireParallel {
+			fmt.Printf("benchjson: GOMAXPROCS=%d — parallel speedup not measurable on this machine, skipping check (-allow-single-cpu)\n", rep.GoMaxProcs)
+			return nil
 		}
-		fmt.Printf("benchjson: GOMAXPROCS=%d — parallel speedup not measurable on this machine, skipping check\n", rep.GoMaxProcs)
-		return nil
+		return fmt.Errorf("report was produced at GOMAXPROCS=%d: a single-CPU artifact is not a valid "+
+			"comparison baseline (re-record BENCH_exec.json on a >= 2-core machine, or pass "+
+			"-allow-single-cpu to skip the check on this one)", rep.GoMaxProcs)
 	}
 	byName := map[string]Benchmark{}
 	for _, b := range rep.Benchmarks {
@@ -182,6 +187,28 @@ func check(path string, minSpeedup, slack float64, requireParallel bool) error {
 	if pairs == 0 {
 		return fmt.Errorf("%s holds no BenchmarkExec*/seq results", path)
 	}
+
+	// The scatter-gather scaling gate: shards4 vs the shards1 sequential
+	// baseline of the sharded IDJN benchmark. A report missing the pair is an
+	// error — the gate must not silently pass because the benchmark was
+	// dropped from the recording regex.
+	const shardBench = "BenchmarkExecShardedIDJN8k"
+	one, okOne := byName[shardBench+"/shards1"]
+	four, okFour := byName[shardBench+"/shards4"]
+	if !okOne || !okFour {
+		return fmt.Errorf("%s holds no %s/shards1 + /shards4 pair — re-record with the shard benchmark included", path, shardBench)
+	}
+	shardSpeedup := one.NsPerOp / four.NsPerOp
+	fmt.Printf("benchjson: [go_max_procs=%d] %-24s shards1 %.0f ns/op, shards4 %.0f ns/op, speedup %.2fx\n",
+		rep.GoMaxProcs, strings.TrimPrefix(shardBench, "Benchmark"), one.NsPerOp, four.NsPerOp, shardSpeedup)
+	if shardSpeedup < 1/(1+slack) {
+		return fmt.Errorf("%s: 4-shard execution is %.2fx slower than unsharded (allowed slack %.0f%%)",
+			shardBench, 1/shardSpeedup, slack*100)
+	}
+	if rep.GoMaxProcs >= 4 && shardSpeedup < minShardSpeedup {
+		return fmt.Errorf("%s: shard speedup %.2fx below the required %.1fx at GOMAXPROCS=%d",
+			shardBench, shardSpeedup, minShardSpeedup, rep.GoMaxProcs)
+	}
 	return nil
 }
 
@@ -189,13 +216,16 @@ func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	checkPath := flag.String("check", "", "check an existing report instead of emitting one")
 	minSpeedup := flag.Float64("min-speedup", 2.0, "required IDJN seq/workers4 speedup at GOMAXPROCS >= 4")
-	slack := flag.Float64("slack", 0.10, "allowed fractional regression of workers4 vs seq")
+	minShardSpeedup := flag.Float64("min-shard-speedup", 2.5, "required ExecShardedIDJN8k shards1/shards4 speedup at GOMAXPROCS >= 4")
+	slack := flag.Float64("slack", 0.10, "allowed fractional regression of workers4 vs seq (and shards4 vs shards1)")
 	requireParallel := flag.Bool("require-parallel", false,
-		"fail -check (instead of skipping) when the report was recorded at GOMAXPROCS < 2")
+		"refuse -check even with -allow-single-cpu when the report was recorded at GOMAXPROCS < 2")
+	allowSingleCPU := flag.Bool("allow-single-cpu", false,
+		"skip -check (exit 0) instead of refusing when the report was recorded at GOMAXPROCS < 2")
 	flag.Parse()
 
 	if *checkPath != "" {
-		if err := check(*checkPath, *minSpeedup, *slack, *requireParallel); err != nil {
+		if err := check(*checkPath, *minSpeedup, *minShardSpeedup, *slack, *requireParallel, *allowSingleCPU); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

@@ -25,6 +25,7 @@ import (
 	"joinopt/internal/faults"
 	"joinopt/internal/obs"
 	"joinopt/internal/pipeline"
+	"joinopt/internal/shard"
 	"joinopt/internal/workload"
 )
 
@@ -41,7 +42,8 @@ func main() {
 		faultsF = flag.String("faults", "", faults.FlagHelp)
 
 		execWorkers  = flag.Int("exec-workers", 0, "pipelined extraction workers per execution (0 = sequential; results are bit-identical at any setting)")
-		extractCache = flag.Int64("extract-cache", 0, "shared extraction cache capacity in bytes (0 = disabled)")
+		shardsF      = flag.Int("shards", 0, "corpus shards for scatter-gather execution (0/1 = unsharded; output is bit-identical at any shard count)")
+		extractCache = flag.Int64("extract-cache", 0, "shared extraction cache capacity in bytes (0 = disabled; split evenly across shards)")
 
 		tracePath   = flag.String("trace", "", "write the NDJSON execution trace of every run to this file")
 		metricsFlag = flag.Bool("metrics", false, "print the Prometheus-text metrics snapshot at the end")
@@ -85,7 +87,11 @@ func main() {
 		fatal(err)
 	}
 	w.ExecWorkers = *execWorkers
-	if *extractCache > 0 {
+	w.Shards = *shardsF
+	if w.Shards >= 2 {
+		// Sharded runs split the cache budget across per-shard slices.
+		w.ShardSet = shard.NewSet(shard.Partition{N: w.Shards}, *extractCache)
+	} else if *extractCache > 0 {
 		w.ExtractCache = pipeline.NewCache(*extractCache)
 	}
 	var traceFile *obs.NDJSON

@@ -128,12 +128,14 @@ func (d *daemon) metrics(t *testing.T) string {
 }
 
 // TestCrashSmoke is the kill-and-recover harness (`make crash-smoke`): boot
-// the real daemon with a state dir, get one adaptive job mid-run (its first
-// checkpoint snapshot on disk) with a second job queued behind it, SIGKILL
-// the process, restart it against the same directory, and require both jobs
-// to finish — the interrupted one resumed or re-run, the queued one
-// re-enqueued — with the recovery and extraction-cache counters visible in
-// /metrics and the NDJSON event stream intact.
+// the real daemon with a state dir, get one sharded adaptive job mid-run
+// (its first checkpoint snapshot — carrying per-shard progress — on disk)
+// with a second job queued behind it, SIGKILL the process mid-shard, restart
+// it against the same directory, and require both jobs to finish — the
+// interrupted one resumed from the snapshot with completed shard prefixes
+// skipped, the queued one re-enqueued — with the recovery and
+// extraction-cache counters visible in /metrics and the NDJSON event stream
+// intact.
 func TestCrashSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and boots the daemon binary twice")
@@ -145,6 +147,7 @@ func TestCrashSmoke(t *testing.T) {
 	job := map[string]any{
 		"tau_g":    8,
 		"tau_b":    400,
+		"shards":   2,
 		"workload": map[string]any{"num_docs": 1500, "seed": 21},
 	}
 	running := a.submit(t, job)
@@ -163,6 +166,14 @@ func TestCrashSmoke(t *testing.T) {
 			t.Fatalf("no checkpoint snapshot at %s", ckpt)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+	// The persisted snapshot of a sharded job must carry the per-shard
+	// progress vector the restarted daemon resumes from (snapshots are
+	// written atomically, so one read sees a complete envelope).
+	if wire, err := os.ReadFile(ckpt); err != nil {
+		t.Fatalf("reading checkpoint snapshot: %v", err)
+	} else if !bytes.Contains(wire, []byte(`"shard_docs"`)) {
+		t.Errorf("sharded job's checkpoint snapshot carries no shard_docs: %s", wire)
 	}
 	if err := a.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
 		t.Fatal(err)

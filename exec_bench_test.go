@@ -5,11 +5,13 @@
 package joinopt_test
 
 import (
+	"fmt"
 	"testing"
 
 	"joinopt/internal/join"
 	"joinopt/internal/optimizer"
 	"joinopt/internal/retrieval"
+	"joinopt/internal/shard"
 )
 
 // benchExec runs spec to exhaustion once per iteration, with the extraction
@@ -39,6 +41,49 @@ func benchExec(b *testing.B, spec optimizer.PlanSpec) {
 	}
 	b.Run("seq", func(b *testing.B) { run(b, 0) })
 	b.Run("workers4", func(b *testing.B) { run(b, 4) })
+}
+
+// BenchmarkExecShardedIDJN8k measures scatter-gather scaling: the IDJN full
+// scan over the 8k corpus at 1, 2, 4, and 8 shards with no extra pipeline
+// workers, so the shards are the only parallelism. shards1 is literally
+// today's sequential executor (shard counts below 2 take the unsharded
+// path). benchjson -check gates shards4 at ≥ 2.5× over shards1 on multi-core
+// runners (-min-shard-speedup); the shard.EffectiveSpeedup curve the
+// optimizer divides predicted scan/extract time by is fitted to this
+// benchmark's measurements.
+func BenchmarkExecShardedIDJN8k(b *testing.B) {
+	spec := optimizer.PlanSpec{
+		JN:    optimizer.IDJN,
+		Theta: [2]float64{0.4, 0.4},
+		X:     [2]retrieval.Kind{retrieval.SC, retrieval.SC},
+	}
+	w := bench8kWorkload(b)
+	run := func(b *testing.B, shards int) {
+		w.Shards = shards
+		if shards >= 2 {
+			w.ShardSet = shard.NewSet(shard.Partition{N: shards}, 0)
+		}
+		defer func() { w.Shards = 0; w.ShardSet = nil }()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			w.Sys[0].ResetCache()
+			w.Sys[1].ResetCache()
+			exec, err := w.NewExecutor(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := join.Run(exec, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("shards%d", n), func(b *testing.B) { run(b, n) })
+	}
 }
 
 func BenchmarkExecIDJN8k(b *testing.B) {

@@ -135,7 +135,15 @@ type NaryExec struct {
 	// exactly as in the binary executors: announced documents extract
 	// speculatively on the worker pool, results resolve in stream order, and
 	// the shared cache makes re-extraction free. Set before the first Step.
-	Pipeline *pipeline.Engine
+	// Like State.Pipeline this is an interface so a sharded engine group can
+	// stand in; access goes through pipeActive/pipeLookahead nil guards.
+	Pipeline pipeline.Frontend
+}
+
+// pipeActive reports whether an extraction frontend is attached and active,
+// guarding the nil interface.
+func (e *NaryExec) pipeActive() bool {
+	return e.Pipeline != nil && e.Pipeline.Active()
 }
 
 // NewNaryExec builds a tree execution over sides. The plan's tree must
@@ -226,7 +234,7 @@ func (e *NaryExec) capReached(i int) bool {
 // the tail past the ahead cursor is new, and a window-full refusal ends the
 // pass for that side.
 func (e *NaryExec) announce() {
-	n := e.Pipeline.Lookahead()
+	n := e.Pipeline.Lookahead() // guarded by pipeActive at the call site
 	if n == 0 {
 		return
 	}
@@ -281,7 +289,7 @@ func (e *NaryExec) addTuple(i int, t relation.Tuple) {
 // effort caps. It returns false once every side is done.
 func (e *NaryExec) Step() (bool, error) {
 	e.st.Steps++
-	if e.Pipeline.Active() {
+	if e.pipeActive() {
 		e.announce()
 	}
 	any := false
@@ -309,7 +317,7 @@ func (e *NaryExec) Step() (bool, error) {
 		doc := s.DB.Doc(id)
 		var tuples []relation.Tuple
 		hit := false
-		if e.Pipeline.Active() {
+		if e.pipeActive() {
 			key := pipeline.Key{Side: i, DocID: id, Theta: s.Theta}
 			tuples, hit, _ = e.Pipeline.Resolve(key, func() []relation.Tuple {
 				return s.System.Extract(doc.Text, s.Theta)

@@ -64,6 +64,11 @@ type Env struct {
 	// free to re-extract under a plan switch.
 	CacheHitRate func(side int) float64
 
+	// Shards is the corpus shard count executions will run under, forwarded
+	// into every Inputs the adaptive protocol assembles (see Inputs.Shards).
+	// 0/1 = unsharded.
+	Shards int
+
 	// Trace and Metrics, when set, observe the adaptive protocol itself:
 	// pilot completion, plan decisions, checkpoints (and their non-fatal
 	// failures), and plan switches, plus per-phase model/wall time. Both are
@@ -180,6 +185,13 @@ type Checkpoint struct {
 	TotalTime      float64       // billed time excluding the in-flight executor
 	Exec           join.Snapshot // in-flight executor state
 
+	// ShardDocs is the in-flight executor's per-shard resolution progress at
+	// checkpoint time (nil when the execution is unsharded). Resume primes
+	// the rebuilt executor's shard group with it, so the deterministic
+	// replay re-resolves completed shards' documents from their warm cache
+	// slices instead of re-speculating the extraction work.
+	ShardDocs []int
+
 	// Finish-phase coordinates (valid when Phase == PhaseFinish): the
 	// extended effort target, the extension round, and the stall-detection
 	// progress snapshot taken before the interrupted run.
@@ -285,6 +297,7 @@ func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, 
 		return res, fmt.Errorf("optimizer: building %s: %w", best.Plan, err)
 	}
 	if ck.Exec.Steps > 0 {
+		primeShards(exec, ck.ShardDocs)
 		if err := join.Replay(exec, ck.Exec); err != nil {
 			return res, fmt.Errorf("optimizer: resuming %s: %w", best.Plan, err)
 		}
@@ -308,6 +321,7 @@ func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, 
 			Switches:       switches,
 			TotalTime:      res.TotalTime,
 			Exec:           exec.State().Snapshot(),
+			ShardDocs:      shardProgress(exec),
 			Target:         target,
 			Ext:            ext,
 			Prev:           prev,
@@ -409,6 +423,29 @@ func (env *Env) adaptiveLoop(ctx context.Context, res *Result, req Requirement, 
 			return res, fmt.Errorf("optimizer: building %s: %w", best.Plan, err)
 		}
 		persist(checkpointed(PhaseExecute, [2]int{}, 0, [2]int{}))
+	}
+}
+
+// shardProgress captures the per-shard resolution counts of a sharded
+// execution's frontend — nil for unsharded executions, whose frontend (a
+// single engine or none) has no Progress.
+func shardProgress(exec join.Executor) []int {
+	if p, ok := exec.State().Pipeline.(interface{ Progress() []int }); ok {
+		return p.Progress()
+	}
+	return nil
+}
+
+// primeShards installs a checkpoint's per-shard progress as the rebuilt
+// executor's resume floor before replay. A no-op for unsharded executions
+// (and for mismatched shard counts, which the frontend itself rejects):
+// replay is correct without priming, just re-speculates work already done.
+func primeShards(exec join.Executor, progress []int) {
+	if len(progress) == 0 {
+		return
+	}
+	if p, ok := exec.State().Pipeline.(interface{ Prime([]int) }); ok {
+		p.Prime(progress)
 	}
 }
 
@@ -592,6 +629,7 @@ func (env *Env) estimateInputs(st *join.State, obsTheta float64) (*Inputs, error
 		Mentioned:   env.Mentioned,
 		SeedCount:   env.SeedCount,
 		ExecWorkers: env.ExecWorkers,
+		Shards:      env.Shards,
 	}
 	if env.CacheHitRate != nil {
 		in.CacheHitRate = [2]float64{env.CacheHitRate(0), env.CacheHitRate(1)}

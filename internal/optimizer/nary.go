@@ -14,6 +14,7 @@ import (
 	"joinopt/internal/querygraph"
 	"joinopt/internal/relation"
 	"joinopt/internal/retrieval"
+	"joinopt/internal/shard"
 )
 
 // N-ary plan enumeration: DPccp over the query graph with the paper's
@@ -167,6 +168,11 @@ type NaryInputs struct {
 	ExecWorkers  int
 	CacheHitRate []float64
 
+	// Shards is the corpus shard count, dividing predicted scan/extract
+	// charges by the measured shard-scaling curve exactly as Inputs.Shards
+	// does (quality composition unchanged — costs are additive over shards).
+	Shards int
+
 	// Binary, when set and the query has exactly two relations, delegates
 	// plan choice to the legacy binary optimizer over its full plan space.
 	Binary *Inputs
@@ -213,7 +219,14 @@ func (in *NaryInputs) effCostsAt(rel int) model.Costs {
 			c.TE *= 1 - hr
 		}
 	}
-	if in.ExecWorkers > 1 {
+	if in.Shards > 1 {
+		f := shard.EffectiveSpeedup(in.Shards)
+		c.TR /= f
+		c.TE /= f
+		if wps := shard.WorkersPerShard(in.ExecWorkers, in.Shards); wps > 1 {
+			c.TE /= pipeline.EffectiveOverlap(wps)
+		}
+	} else if in.ExecWorkers > 1 {
 		c.TE /= pipeline.EffectiveOverlap(in.ExecWorkers)
 	}
 	return c

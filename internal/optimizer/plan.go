@@ -14,6 +14,7 @@ import (
 	"joinopt/internal/model"
 	"joinopt/internal/pipeline"
 	"joinopt/internal/retrieval"
+	"joinopt/internal/shard"
 )
 
 // Algorithm names a join algorithm.
@@ -138,6 +139,17 @@ type Inputs struct {
 	// or Choose call — plan evaluations are memoized on first use.
 	CacheHitRate [2]float64
 
+	// Shards is the corpus shard count the chosen plan will execute under
+	// (0/1 = unsharded). The cost model is additive over documents, hence
+	// over shards: per-shard costs sum back to the unsharded total, and
+	// tp/fp and quality composition are unchanged. What sharding buys is
+	// wall-clock overlap, so prediction divides the per-document scan and
+	// extraction charges by shard.EffectiveSpeedup — the scaling curve
+	// measured from the sharded benchmark, not the ideal 1/N — and models
+	// any remaining per-shard worker pool on top (WorkersPerShard). The json
+	// tag keeps unsharded checkpoints byte-identical to the v1 wire format.
+	Shards int `json:"Shards,omitempty"`
+
 	// memo caches derived model state (parameter lookups, plan closures,
 	// quality/time points) across Evaluate and Choose calls; see memo.go.
 	// It attaches lazily, so fresh Inputs always start with a fresh cache.
@@ -150,12 +162,16 @@ func (in *Inputs) params(side int, theta float64) (*model.RelationParams, error)
 }
 
 // effCosts returns side's cost parameters as plan-time prediction should see
-// them under pipelined execution: the expected extraction charge shrinks by
-// the anticipated cache hit rate, and by the overlap the worker pool
-// actually delivers (pipeline.EffectiveOverlap, the Amdahl curve measured on
-// the batched engine — not the raw worker count, which over-promised before
-// the engine was fixed). Executed runs still charge the full tE per cache
-// miss — this adjustment only sharpens predictions.
+// them under pipelined, possibly sharded execution: the expected extraction
+// charge shrinks by the anticipated cache hit rate, and by the overlap the
+// worker pool actually delivers (pipeline.EffectiveOverlap, the Amdahl curve
+// measured on the batched engine — not the raw worker count, which
+// over-promised before the engine was fixed). Under sharding, retrieval and
+// extraction additionally divide by the measured shard-scaling curve
+// (shard.EffectiveSpeedup) with the worker budget split per shard — per-shard
+// costs still sum to the unsharded total; only predicted elapsed time
+// shrinks. Executed runs still charge the full tE per cache miss — this
+// adjustment only sharpens predictions.
 func (in *Inputs) effCosts(side int) model.Costs {
 	c := in.Costs[side]
 	if hr := in.CacheHitRate[side]; hr > 0 {
@@ -164,7 +180,14 @@ func (in *Inputs) effCosts(side int) model.Costs {
 		}
 		c.TE *= 1 - hr
 	}
-	if in.ExecWorkers > 1 {
+	if in.Shards > 1 {
+		f := shard.EffectiveSpeedup(in.Shards)
+		c.TR /= f
+		c.TE /= f
+		if wps := shard.WorkersPerShard(in.ExecWorkers, in.Shards); wps > 1 {
+			c.TE /= pipeline.EffectiveOverlap(wps)
+		}
+	} else if in.ExecWorkers > 1 {
 		c.TE /= pipeline.EffectiveOverlap(in.ExecWorkers)
 	}
 	return c

@@ -476,6 +476,9 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 	if j.req.ExecWorkers != 0 {
 		opts = append(opts, joinopt.WithExecWorkers(j.req.ExecWorkers))
 	}
+	if j.req.Shards != 0 {
+		opts = append(opts, joinopt.WithShards(j.req.Shards))
+	}
 	if j.req.Faults != "" {
 		fp, err := joinopt.ParseFaultProfile(j.req.Faults)
 		if err != nil {

@@ -1,0 +1,222 @@
+package shard
+
+import (
+	"joinopt/internal/pipeline"
+	"joinopt/internal/relation"
+)
+
+// Set is the persistent half of a sharded execution: the partition layout
+// and one extraction-cache slice per shard. Like the single shared cache it
+// replaces, a Set outlives individual runs — a Task builds one per
+// (capacity, shard count) and every sharded execution of that task warms the
+// same slices. The slices' key spaces are disjoint by construction (every
+// key is only ever routed to its owner shard), so a single second tier may
+// safely back all of them.
+type Set struct {
+	Part   Partition
+	Caches []*pipeline.Cache // per-shard slice; entries nil when capacity is 0
+}
+
+// NewSet builds the persistent cache slices for a partition: totalBytes of
+// capacity split evenly across the shards. totalBytes <= 0 leaves every
+// slice nil — sharded execution without caching. p.N < 1 is normalized to 1.
+func NewSet(p Partition, totalBytes int64) *Set {
+	if p.N < 1 {
+		p.N = 1
+	}
+	s := &Set{Part: p, Caches: make([]*pipeline.Cache, p.N)}
+	if totalBytes > 0 {
+		per := totalBytes / int64(p.N)
+		if per < 1 {
+			per = 1
+		}
+		for i := range s.Caches {
+			s.Caches[i] = pipeline.NewCache(per)
+		}
+	}
+	return s
+}
+
+// SetTier attaches a second cache level (typically the durable disk tier)
+// under every shard slice. Safe because the slices' key spaces are disjoint.
+func (s *Set) SetTier(t pipeline.Tier) {
+	if s == nil {
+		return
+	}
+	for _, c := range s.Caches {
+		c.SetTier(t)
+	}
+}
+
+// Stats aggregates the accounting of all shard slices.
+func (s *Set) Stats() pipeline.CacheStats {
+	var agg pipeline.CacheStats
+	if s == nil {
+		return agg
+	}
+	for _, c := range s.Caches {
+		if c == nil {
+			continue
+		}
+		cs := c.Stats()
+		agg.Hits += cs.Hits
+		agg.Misses += cs.Misses
+		agg.Evictions += cs.Evictions
+		agg.Bytes += cs.Bytes
+		agg.Entries += cs.Entries
+		agg.TierHits += cs.TierHits
+	}
+	return agg
+}
+
+// HitRate returns the aggregate hit fraction across all slices, 0 before any
+// lookup.
+func (s *Set) HitRate() float64 {
+	st := s.Stats()
+	if st.Hits+st.Misses == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(st.Hits+st.Misses)
+}
+
+// Group is the per-execution scatter-gather frontend over a Set: one
+// pipelined engine per shard, each owning its cache slice and a slice of the
+// run's worker budget. It satisfies pipeline.Frontend, so the join executors
+// drive it exactly as they drive a single engine — announcements and
+// resolutions are routed to the owning shard, and because the consumer still
+// resolves documents in canonical stream order, the merged tuple stream is
+// bit-identical to the unsharded run at any shard count (the per-shard
+// reorder buffers ARE the gather step).
+type Group struct {
+	set      *Set
+	sizes    []int // per-side corpus sizes, for range partitioning
+	engines  []*pipeline.Engine
+	resolved []int // documents resolved per shard this execution
+	primed   []int // resume floor: suppress speculation below these counts
+}
+
+// NewGroup builds the per-execution engines over a Set. execWorkers is the
+// run's total worker budget, split as WorkersPerShard (each shard always
+// speculates with at least one worker — with shards, the shards are the
+// parallelism). sizes gives the per-side corpus sizes, indexed by
+// pipeline.Key.Side, used only by range partitioning. extract must be a pure
+// function of the key.
+func NewGroup(set *Set, execWorkers int, sizes []int, extract func(pipeline.Key) []relation.Tuple) *Group {
+	n := set.Part.N
+	if n < 1 {
+		n = 1
+	}
+	g := &Group{
+		set:      set,
+		sizes:    append([]int(nil), sizes...),
+		engines:  make([]*pipeline.Engine, n),
+		resolved: make([]int, n),
+		primed:   make([]int, n),
+	}
+	wps := WorkersPerShard(execWorkers, n)
+	for i := range g.engines {
+		var cache *pipeline.Cache
+		if i < len(set.Caches) {
+			cache = set.Caches[i]
+		}
+		g.engines[i] = pipeline.NewEngine(cache, wps, extract)
+	}
+	return g
+}
+
+// owner returns the shard index owning k.
+func (g *Group) owner(k pipeline.Key) int {
+	size := 0
+	if k.Side >= 0 && k.Side < len(g.sizes) {
+		size = g.sizes[k.Side]
+	}
+	return g.set.Part.Owner(k.Side, k.DocID, size)
+}
+
+// Active reports that the group changes the execution path (it always does:
+// every shard engine has at least one worker).
+func (g *Group) Active() bool { return g != nil }
+
+// HasCache reports whether any shard engine has a cache slice attached.
+func (g *Group) HasCache() bool {
+	if g == nil {
+		return false
+	}
+	for _, e := range g.engines {
+		if e.HasCache() {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookahead returns the group's total speculation depth: the sum of the
+// per-shard windows. Hash partitioning spreads consecutive stream documents
+// across shards, so a lookahead this deep keeps every shard's window fed.
+func (g *Group) Lookahead() int {
+	if g == nil {
+		return 0
+	}
+	total := 0
+	for _, e := range g.engines {
+		total += e.Lookahead()
+	}
+	return total
+}
+
+// Announce routes a speculative extraction to the key's owner shard. While a
+// shard is below its primed resume floor the announcement is swallowed
+// (reported accepted): a resumed run re-resolves that prefix from the warm
+// cache slices, and re-speculating work a previous run already did would
+// only burn workers. The single-engine stop-at-first-refusal discipline
+// carries over unchanged — a refusal from any owner stops the caller's
+// announce pass for this step.
+func (g *Group) Announce(k pipeline.Key) bool {
+	s := g.owner(k)
+	if g.resolved[s] < g.primed[s] {
+		return true
+	}
+	return g.engines[s].Announce(k)
+}
+
+// Resolve routes the canonical resolution of k to its owner shard and
+// advances that shard's progress counter. Called by the consumer in stream
+// order, so the counters — like everything else the consumer touches — are
+// deterministic.
+func (g *Group) Resolve(k pipeline.Key, inline func() []relation.Tuple) ([]relation.Tuple, bool, int) {
+	s := g.owner(k)
+	g.resolved[s]++
+	return g.engines[s].Resolve(k, inline)
+}
+
+// Drop routes a speculation abandonment to the key's owner shard.
+func (g *Group) Drop(k pipeline.Key) {
+	g.engines[g.owner(k)].Drop(k)
+}
+
+// Shards returns the number of shards in the group.
+func (g *Group) Shards() int { return len(g.engines) }
+
+// Progress returns a copy of the per-shard resolution counts — the
+// checkpointable answer to "how far did each shard get". Deterministic
+// because resolutions happen in canonical stream order.
+func (g *Group) Progress() []int {
+	if g == nil {
+		return nil
+	}
+	return append([]int(nil), g.resolved...)
+}
+
+// Prime installs a resume floor from a checkpoint's per-shard progress:
+// until a shard's resolution count catches back up to its floor, its
+// announcements are suppressed, so replaying up to the checkpoint skips the
+// speculative re-extraction of work completed shards already did (the
+// resolutions come from the warm cache slices instead). A progress vector
+// recorded under a different shard count is ignored — replay is still
+// correct without priming, just less lazy.
+func (g *Group) Prime(progress []int) {
+	if g == nil || len(progress) != len(g.primed) {
+		return
+	}
+	copy(g.primed, progress)
+}

@@ -12,6 +12,7 @@ import (
 	"joinopt/internal/pipeline"
 	"joinopt/internal/relation"
 	"joinopt/internal/retrieval"
+	"joinopt/internal/shard"
 )
 
 // NewExecutor builds a fresh join executor for a plan over this workload,
@@ -49,16 +50,35 @@ func (w *Workload) NewExecutor(plan optimizer.PlanSpec) (join.Executor, error) {
 	st.Deadline = w.Deadline
 	st.Trace = w.Trace
 	st.Metrics = w.execMetrics()
-	if w.ExecWorkers >= 1 || w.ExtractCache != nil {
-		st.Pipeline = pipeline.NewEngine(w.ExtractCache, w.ExecWorkers, func(k pipeline.Key) []relation.Tuple {
-			return w.Sys[k.Side].Extract(w.DB[k.Side].Doc(k.DocID).Text, k.Theta)
-		})
+	if w.Shards >= 2 {
+		// Sharded execution: one pipelined engine per shard, each owning its
+		// cache slice and a split of the worker budget. The group implements
+		// the same frontend contract as a single engine, and the consumer
+		// still resolves documents in canonical stream order, so the merged
+		// output is bit-identical to the unsharded run.
+		set := w.ShardSet
+		if set == nil {
+			set = shard.NewSet(shard.Partition{N: w.Shards}, 0)
+		}
+		st.Pipeline = shard.NewGroup(set, w.ExecWorkers,
+			[]int{w.DB[0].Size(), w.DB[1].Size()}, w.extractFn())
+	} else if w.ExecWorkers >= 1 || w.ExtractCache != nil {
+		st.Pipeline = pipeline.NewEngine(w.ExtractCache, w.ExecWorkers, w.extractFn())
 	}
 	// Bind the trace clock to this executor's cost-model time so sites
 	// without State access (fault injectors, retrieval wrappers) stamp their
 	// events consistently with the executor's own.
 	w.Trace.SetClock(func() float64 { return st.Time })
 	return e, nil
+}
+
+// extractFn returns the pure extraction function pipelined engines run on
+// worker goroutines: the canonical (side, doc, θ) extraction, no fault or
+// accounting state touched.
+func (w *Workload) extractFn() func(pipeline.Key) []relation.Tuple {
+	return func(k pipeline.Key) []relation.Tuple {
+		return w.Sys[k.Side].Extract(w.DB[k.Side].Doc(k.DocID).Text, k.Theta)
+	}
 }
 
 // envStatics is the run-independent part of the optimizer environment:
@@ -134,8 +154,12 @@ func (w *Workload) NewEnv(thetas []float64) (*optimizer.Env, error) {
 		TopK:           [2]int{w.Ix[0].TopK(), w.Ix[1].TopK()},
 		BadInGoodPrior: 0.3,
 		ExecWorkers:    w.ExecWorkers,
+		Shards:         w.Shards,
 	}
-	if w.ExtractCache != nil {
+	if w.Shards >= 2 && w.ShardSet != nil {
+		set := w.ShardSet
+		env.CacheHitRate = func(int) float64 { return set.HitRate() }
+	} else if w.ExtractCache != nil {
 		cache := w.ExtractCache
 		env.CacheHitRate = func(int) float64 { return cache.HitRate() }
 	}

@@ -7,6 +7,7 @@ import (
 	"joinopt/internal/optimizer"
 	"joinopt/internal/querygraph"
 	"joinopt/internal/retrieval"
+	"joinopt/internal/shard"
 )
 
 func naryTriple(t *testing.T) *MultiWorkload {
@@ -190,7 +191,7 @@ func TestNaryExecPipelineBitIdentical(t *testing.T) {
 	}
 	var ref *join.NaryState
 	for _, workers := range []int{0, 1, 4} {
-		exec, err := mw.NewNaryExecutor(best, 0.1, workers, nil)
+		exec, err := mw.NewNaryExecutor(best, 0.1, workers, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,6 +228,72 @@ func TestNaryExecPipelineBitIdentical(t *testing.T) {
 	}
 }
 
+// TestNaryExecShardedBitIdentical: sharding a four-relation tree execution
+// must leave every counter identical at every shard count — the leaves route
+// through per-shard engines but the tree nodes keep merging the canonical
+// consumer-ordered streams — including with a per-shard worker split on top,
+// and the Time+ΣCacheSaved warmth invariant must hold.
+func TestNaryExecShardedBitIdentical(t *testing.T) {
+	mw, err := Multi(Params{NumDocs: 450, Seed: 33}, []string{"HQ", "EX", "MG", "HQ"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := querygraph.Chain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := mw.TrueNaryInputs([]float64{0.4, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Workers = 1
+	best, _, err := optimizer.ChooseNary(g, in, optimizer.Requirement{TauG: 5, TauB: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(shards, workers int) *join.NaryState {
+		var set *shard.Set
+		if shards >= 2 {
+			set = shard.NewSet(shard.Partition{N: shards}, 1<<26)
+		}
+		exec, err := mw.NewNaryExecutor(best, 0.1, workers, nil, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := join.RunNary(exec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	warmth := func(s *join.NaryState) float64 {
+		total := s.Time
+		for _, cs := range s.CacheSaved {
+			total += cs
+		}
+		return total
+	}
+	ref := run(0, 0)
+	if ref.GoodTuples == 0 {
+		t.Fatal("chosen plan produced no good tuples")
+	}
+	for _, cfg := range [][2]int{{1, 0}, {2, 0}, {4, 0}, {8, 0}, {4, 3}} {
+		st := run(cfg[0], cfg[1])
+		if st.GoodTuples != ref.GoodTuples || st.BadTuples != ref.BadTuples {
+			t.Errorf("shards=%d workers=%d tuples diverged: (%d, %d) vs (%d, %d)", cfg[0], cfg[1],
+				st.GoodTuples, st.BadTuples, ref.GoodTuples, ref.BadTuples)
+		}
+		if warmth(st) != warmth(ref) {
+			t.Errorf("shards=%d workers=%d Time+ΣCacheSaved invariant broken: %v vs %v", cfg[0], cfg[1], warmth(st), warmth(ref))
+		}
+		for i := range st.DocsProcessed {
+			if st.DocsProcessed[i] != ref.DocsProcessed[i] || st.DocsRetrieved[i] != ref.DocsRetrieved[i] {
+				t.Errorf("shards=%d workers=%d side %d counters diverged", cfg[0], cfg[1], i)
+			}
+		}
+	}
+}
+
 // TestChooseNaryOnWorkload runs the enumerator against measured workload
 // parameters end to end: the chosen plan must be feasible, its executed
 // output must reach the requirement's τg, and the executed efforts must
@@ -249,7 +316,7 @@ func TestChooseNaryOnWorkload(t *testing.T) {
 	if len(evals) == 0 || !best.Feasible {
 		t.Fatalf("no feasible plan: %+v", best)
 	}
-	exec, err := mw.NewNaryExecutor(best, in.TJ, 0, nil)
+	exec, err := mw.NewNaryExecutor(best, in.TJ, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,7 @@ import (
 	"joinopt/internal/qxtract"
 	"joinopt/internal/relation"
 	"joinopt/internal/retrieval"
+	"joinopt/internal/shard"
 	"joinopt/internal/stat"
 	"joinopt/internal/textgen"
 )
@@ -92,6 +93,21 @@ type Workload struct {
 	// free. Hits, misses, and evictions surface through Metrics.
 	ExtractCache *pipeline.Cache
 
+	// Shards, when >= 2, partitions each database into that many
+	// deterministic shards and runs every executor over a scatter-gather
+	// group of per-shard pipelined engines (see internal/shard): document
+	// ownership is a pure function of (side, docID), each shard owns a
+	// slice of the extraction cache, and the consumer still resolves
+	// documents in canonical stream order, so output stays bit-identical
+	// to the unsharded run at any shard count. 0/1 = unsharded (the
+	// ExecWorkers/ExtractCache path above, byte for byte).
+	Shards int
+
+	// ShardSet is the persistent per-shard cache layout backing sharded
+	// executions (required when Shards >= 2; built once per task via
+	// shard.NewSet and shared across runs so the slices stay warm).
+	ShardSet *shard.Set
+
 	// Trace and Metrics, when set, observe every execution built over this
 	// workload: executors stamp span events and mirror their counters, fault
 	// injectors report fired faults, and retrieval strategies report query
@@ -137,6 +153,8 @@ func (w *Workload) Clone() *Workload {
 		Deadline:     w.Deadline,
 		ExecWorkers:  w.ExecWorkers,
 		ExtractCache: w.ExtractCache,
+		Shards:       w.Shards,
+		ShardSet:     w.ShardSet,
 		Trace:        w.Trace,
 		Metrics:      w.Metrics,
 

@@ -42,6 +42,7 @@ import (
 	"joinopt/internal/pipeline"
 	"joinopt/internal/relation"
 	"joinopt/internal/retrieval"
+	"joinopt/internal/shard"
 	"joinopt/internal/verify"
 	"joinopt/internal/workload"
 )
@@ -210,6 +211,16 @@ type Task struct {
 	// zero extraction time. Inspect it with ExtractionCacheStats.
 	ExtractCacheBytes int64
 
+	// Shards, when >= 2, partitions each text database into that many
+	// deterministic shards and runs every execution of this task as a
+	// scatter-gather over per-shard pipelined executors, each owning its
+	// slice of the shared extraction cache (ExtractCacheBytes splits evenly
+	// across shards). Output — tuples, counters, traces — is bit-identical
+	// to the unsharded run at any shard count; what changes is wall-clock
+	// overlap, which the optimizer models with the measured shard-scaling
+	// curve. 0 or 1 = unsharded.
+	Shards int
+
 	// MergeCost (n-ary tasks) is the cost-model time charged per expected
 	// intermediate tuple at every internal node of the executed join tree —
 	// the knob the DP enumerator's tree choice trades against extraction
@@ -222,6 +233,12 @@ type Task struct {
 	cacheCap  int64
 	cacheTier pipeline.Tier
 
+	// shardSet memo: the persistent per-shard cache slices of sharded runs,
+	// reused (warm) while the shard count and capacity are unchanged.
+	shards    *shard.Set
+	shardsN   int
+	shardsCap int64
+
 	verifierMu sync.Mutex
 	verifiers  map[verifierKey]*verify.TemplateVerifier
 }
@@ -231,19 +248,32 @@ type Task struct {
 type CacheStats = pipeline.CacheStats
 
 // ExtractionCacheStats returns the current counters of the task's shared
-// extraction cache. The zero value is returned when no cache is configured.
-// It is safe to call concurrently with in-flight Run calls: the snapshot is
-// internally consistent, though counters advance as runs progress.
+// extraction cache — the single cache of unsharded runs plus the per-shard
+// slices of sharded ones, summed. The zero value is returned when no cache
+// is configured. It is safe to call concurrently with in-flight Run calls:
+// the snapshot is internally consistent, though counters advance as runs
+// progress.
 func (t *Task) ExtractionCacheStats() CacheStats {
 	t.cacheMu.Lock()
 	defer t.cacheMu.Unlock()
-	return t.cache.Stats()
+	stats := t.cache.Stats()
+	if t.shards != nil {
+		ss := t.shards.Stats()
+		stats.Hits += ss.Hits
+		stats.Misses += ss.Misses
+		stats.Evictions += ss.Evictions
+		stats.Bytes += ss.Bytes
+		stats.Entries += ss.Entries
+		stats.TierHits += ss.TierHits
+	}
+	return stats
 }
 
 // SetExtractCacheTier attaches a second cache level behind the task's
 // shared extraction cache — typically a disk store that survives process
 // restarts, so a restarted daemon lazily re-warms from everything a crashed
-// one had paid for. Attach before runs start; nil detaches.
+// one had paid for. Sharded runs get the same tier under every shard slice
+// (their key spaces are disjoint). Attach before runs start; nil detaches.
 func (t *Task) SetExtractCacheTier(tier pipeline.Tier) {
 	t.cacheMu.Lock()
 	defer t.cacheMu.Unlock()
@@ -251,6 +281,7 @@ func (t *Task) SetExtractCacheTier(tier pipeline.Tier) {
 	if t.cache != nil {
 		t.cache.SetTier(tier)
 	}
+	t.shards.SetTier(tier)
 }
 
 // extractCache resolves the shared cache at the requested capacity, reusing
@@ -268,6 +299,23 @@ func (t *Task) extractCache(bytes int64) *pipeline.Cache {
 		t.cacheCap = bytes
 	}
 	return t.cache
+}
+
+// shardSet resolves the persistent per-shard cache layout for sharded runs,
+// reusing the existing set (and its warm slices) while the shard count and
+// capacity are unchanged. Returns nil below 2 shards.
+func (t *Task) shardSet(bytes int64, shards int) *shard.Set {
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
+	if shards < 2 {
+		return nil
+	}
+	if t.shards == nil || t.shardsN != shards || t.shardsCap != bytes {
+		t.shards = shard.NewSet(shard.Partition{N: shards}, bytes)
+		t.shards.SetTier(t.cacheTier)
+		t.shardsN, t.shardsCap = shards, bytes
+	}
+	return t.shards
 }
 
 // NewHQJoinEX builds the paper's primary workload: the Headquarters

@@ -7,6 +7,7 @@ import (
 	"joinopt/internal/join"
 	"joinopt/internal/obs"
 	"joinopt/internal/optimizer"
+	"joinopt/internal/pipeline"
 	"joinopt/internal/querygraph"
 	"joinopt/internal/retrieval"
 	"joinopt/internal/workload"
@@ -183,7 +184,7 @@ func (t *Task) binaryOnly(op string) error {
 
 // naryInputs assembles the n-ary optimizer inputs from the task's measured
 // workload parameters and knobs.
-func (t *Task) naryInputs(workers, execWorkers int) (*querygraph.Graph, *optimizer.NaryInputs, error) {
+func (t *Task) naryInputs(workers, execWorkers, shards int) (*querygraph.Graph, *optimizer.NaryInputs, error) {
 	g, err := t.mw.Graph(t.joins)
 	if err != nil {
 		return nil, nil, err
@@ -194,6 +195,7 @@ func (t *Task) naryInputs(workers, execWorkers int) (*querygraph.Graph, *optimiz
 	}
 	in.Workers = workers
 	in.ExecWorkers = execWorkers
+	in.Shards = shards
 	in.TJ = t.MergeCost
 	return g, in, nil
 }
@@ -262,7 +264,7 @@ func (t *Task) OptimizeQuery(req Requirement) (QueryPlan, error) {
 			EstimatedTime: best.Time,
 		}, nil
 	}
-	g, in, err := t.naryInputs(t.Workers, t.ExecWorkers)
+	g, in, err := t.naryInputs(t.Workers, t.ExecWorkers, t.Shards)
 	if err != nil {
 		return QueryPlan{}, err
 	}
@@ -308,6 +310,10 @@ func (t *Task) runQuery(ctx context.Context, req Requirement, opts []RunOption) 
 	if cfg.cacheBytes != nil {
 		cacheBytes = *cfg.cacheBytes
 	}
+	shards := t.Shards
+	if cfg.shards != nil {
+		shards = *cfg.shards
+	}
 	deadline := t.Deadline
 	if cfg.deadline != nil {
 		deadline = *cfg.deadline
@@ -318,7 +324,7 @@ func (t *Task) runQuery(ctx context.Context, req Requirement, opts []RunOption) 
 			"mode": "query", "relations": t.Arity(), "tau_g": req.TauG, "tau_b": req.TauB,
 		})
 	}
-	g, in, err := t.naryInputs(workers, execWorkers)
+	g, in, err := t.naryInputs(workers, execWorkers, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +338,12 @@ func (t *Task) runQuery(ctx context.Context, req Requirement, opts []RunOption) 
 			"plan": qp.String(), "est_good": qp.EstimatedGood, "est_bad": qp.EstimatedBad, "est_time": qp.EstimatedTime,
 		})
 	}
-	exec, err := t.mw.NewNaryExecutor(best, in.TJ, execWorkers, t.extractCache(cacheBytes))
+	var cache *pipeline.Cache
+	set := t.shardSet(cacheBytes, shards)
+	if set == nil {
+		cache = t.extractCache(cacheBytes)
+	}
+	exec, err := t.mw.NewNaryExecutor(best, in.TJ, execWorkers, cache, set)
 	if err != nil {
 		return nil, err
 	}
@@ -401,7 +412,12 @@ func (t *Task) ExecuteQuery(thetas []float64, stop func(QueryProgress) bool) (*Q
 			Rel: i, Theta: thetas[i], X: retrieval.SC, Effort: size, MaxEffort: size,
 		})
 	}
-	exec, err := t.mw.NewNaryExecutor(ev, t.MergeCost, t.ExecWorkers, t.extractCache(t.ExtractCacheBytes))
+	var cache *pipeline.Cache
+	set := t.shardSet(t.ExtractCacheBytes, t.Shards)
+	if set == nil {
+		cache = t.extractCache(t.ExtractCacheBytes)
+	}
+	exec, err := t.mw.NewNaryExecutor(ev, t.MergeCost, t.ExecWorkers, cache, set)
 	if err != nil {
 		return nil, err
 	}

@@ -31,6 +31,7 @@ type runConfig struct {
 	workers     *int
 	execWorkers *int
 	cacheBytes  *int64
+	shards      *int
 
 	qstop func(QueryProgress) bool
 }
@@ -85,6 +86,17 @@ func WithWorkers(n int) RunOption {
 // wall-clock time.
 func WithExecWorkers(n int) RunOption {
 	return func(c *runConfig) { c.execWorkers = &n }
+}
+
+// WithShards overrides the task's corpus shard count for this run (0 or 1 =
+// unsharded). The run partitions each database into that many deterministic
+// shards and executes as a scatter-gather over per-shard pipelined engines,
+// each owning a slice of the extraction cache. Any shard count produces
+// bit-identical tuples, counters, and traces; sharding only overlaps
+// wall-clock work, which the optimizer models with the measured
+// shard-scaling curve.
+func WithShards(n int) RunOption {
+	return func(c *runConfig) { c.shards = &n }
 }
 
 // WithExtractionCache overrides the task's extraction-cache capacity in
@@ -180,9 +192,20 @@ func (t *Task) configure(opts []RunOption) (*runConfig, *workload.Workload) {
 	if cfg.cacheBytes != nil {
 		cacheBytes = *cfg.cacheBytes
 	}
+	shards := t.Shards
+	if cfg.shards != nil {
+		shards = *cfg.shards
+	}
 	w := t.w.Clone()
 	w.ExecWorkers = execWorkers
-	w.ExtractCache = t.extractCache(cacheBytes)
+	if shards >= 2 {
+		// Sharded runs split the cache budget into per-shard slices; the
+		// single shared cache stays detached so the two layouts never mix.
+		w.Shards = shards
+		w.ShardSet = t.shardSet(cacheBytes, shards)
+	} else {
+		w.ExtractCache = t.extractCache(cacheBytes)
+	}
 	w.Faults = fp
 	w.Retry = join.RetryPolicy{
 		MaxRetries:    retry.MaxRetries,
@@ -222,8 +245,9 @@ func (t *Task) configure(opts []RunOption) (*runConfig, *workload.Workload) {
 // and its clock follows whichever executor was constructed last); a shared
 // Metrics registry is safe but accumulates all runs into the same series.
 // The Task's configuration fields (Workers, Faults, Retry, Deadline,
-// ExecWorkers, ExtractCacheBytes, MergeCost) must not be mutated while runs
-// are in flight — configure them up front or per call via options.
+// ExecWorkers, ExtractCacheBytes, Shards, MergeCost) must not be mutated
+// while runs are in flight — configure them up front or per call via
+// options.
 func (t *Task) Run(ctx context.Context, req Requirement, opts ...RunOption) (*RunResult, error) {
 	if t.mw != nil {
 		return t.runQuery(ctx, req, opts)
