@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race transparency api-check api-update bench-enum serve-smoke crash-smoke bench bench-overhead bench-json bench-json-check bench-service
+.PHONY: check build vet test race transparency api-check api-update bench-enum serve-smoke crash-smoke cluster-smoke bench bench-overhead bench-json bench-json-check bench-service
 
 # check is the full pre-merge gate: static checks, a clean build, the test
 # suite, the race detector over the concurrent packages (the optimizer's
@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/optimizer/... ./internal/join/... ./internal/faults/... ./internal/workload/... ./internal/obs/... ./internal/pipeline/... ./internal/shard/... ./internal/service/... ./internal/durable/...
+	$(GO) test -race ./internal/optimizer/... ./internal/join/... ./internal/faults/... ./internal/workload/... ./internal/obs/... ./internal/pipeline/... ./internal/shard/... ./internal/service/... ./internal/durable/... ./internal/cluster/...
 	$(GO) test -race -run TestConcurrentRunsOnOneTask -count=1 .
 
 transparency:
@@ -54,6 +54,15 @@ serve-smoke:
 # verified over HTTP.
 crash-smoke:
 	$(GO) test ./cmd/joinoptd -run TestCrashSmoke -count=1 -v
+
+# cluster-smoke is the fleet kill-and-migrate harness: boot two joinoptd
+# replicas as a cluster, submit one adaptive job through the replica that
+# does NOT own its workload (proving consistent-hash forwarding), SIGKILL
+# the owner mid-run, and require the survivor to adopt the replicated
+# checkpoint and finish the job bit-identical to a single-node run, with
+# the migration visible in joinopt_cluster_migrations_total.
+cluster-smoke:
+	$(GO) test ./cmd/joinoptd -run TestClusterSmoke -count=1 -v
 
 # bench runs the optimizer plan-space benchmarks: sequential vs parallel
 # Choose on the 256-plan space, and cold vs warm memoization sweeps.

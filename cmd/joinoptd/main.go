@@ -19,6 +19,15 @@
 // resumes interrupted adaptive jobs from their last checkpoint, and
 // re-enqueues jobs that never ran. Disk failures degrade the daemon to
 // memory-only (surfaced on /readyz) — they never fail jobs.
+//
+// With -peers and -self the daemon joins a fleet: replicas route each
+// workload to its owner on a consistent-hash ring, probe each other's
+// health, replicate running jobs' checkpoints to the replica that would
+// inherit them, and migrate jobs off dead or draining members — a job
+// started on one replica finishes on another, bit-identical:
+//
+//	joinoptd -listen :8080 -self http://hostA:8080 -peers http://hostA:8080,http://hostB:8080
+//	joinoptd -listen :8080 -self http://hostB:8080 -peers http://hostA:8080,http://hostB:8080
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"joinopt/internal/cluster"
 	"joinopt/internal/durable"
 	"joinopt/internal/faults"
 	"joinopt/internal/obs"
@@ -54,26 +64,68 @@ func main() {
 		stateDir    = flag.String("state-dir", "", "directory for the job journal, checkpoint/result snapshots, and the extraction-cache disk tier (empty = memory-only)")
 		noPersist   = flag.Bool("no-persist", false, "ignore -state-dir and run memory-only")
 		stateFaults = flag.String("state-faults", "", "disk fault-injection profile for the durable store (dwrite=, dsync=, dcorrupt=, seed=; testing only)")
+
+		peers         = flag.String("peers", "", "comma-separated base URLs of every fleet replica, including this one (empty = single node)")
+		self          = flag.String("self", "", "this replica's advertised base URL (must appear in -peers)")
+		vnodes        = flag.Int("vnodes", 64, "virtual nodes per replica on the consistent-hash ring (identical fleet-wide)")
+		probeInterval = flag.Duration("probe-interval", time.Second, "peer health-probe period")
+		probeTimeout  = flag.Duration("probe-timeout", 0, "per-probe timeout (0 = half the probe interval)")
+		suspectAfter  = flag.Int("suspect-after", 2, "consecutive probe failures marking a peer suspect")
+		downAfter     = flag.Int("down-after", 4, "consecutive probe failures marking a peer down (its workloads reroute and its jobs migrate)")
+		forwardMode   = flag.String("forward", service.ForwardProxy, "how mis-addressed submissions reach their owner: proxy | redirect")
 	)
 	flag.Parse()
 	if *noPersist {
 		*stateDir = ""
 	}
-	if err := run(*listen, *traceFile, *stateDir, *stateFaults, *drainGrace, service.Options{
+	opts := service.Options{
 		Workers:           *workers,
 		QueueDepth:        *queueDepth,
 		TenantQuota:       *tenantQuota,
 		RetryAfter:        *retryAfter,
 		DefaultCacheBytes: *cacheBytes,
 		MaxJobs:           *maxJobs,
-	}); err != nil {
+		ForwardMode:       *forwardMode,
+	}
+	// Cluster misconfiguration fails at startup with a precise message, not
+	// on the first probe: every mistake here (a typo'd peer URL, a self
+	// address missing from the list, a duplicated replica) would otherwise
+	// surface as a fleet that silently disagrees about ownership.
+	var ccfg *cluster.Config
+	if *peers != "" || *self != "" {
+		switch *forwardMode {
+		case service.ForwardProxy, service.ForwardRedirect:
+		default:
+			fmt.Fprintf(os.Stderr, "joinoptd: -forward %q: want %s or %s\n", *forwardMode, service.ForwardProxy, service.ForwardRedirect)
+			os.Exit(1)
+		}
+		cfg, err := cluster.ParseConfig(*self, *peers, *vnodes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "joinoptd:", err)
+			os.Exit(1)
+		}
+		cfg.ProbeInterval = *probeInterval
+		cfg.ProbeTimeout = *probeTimeout
+		cfg.SuspectAfter = *suspectAfter
+		cfg.DownAfter = *downAfter
+		if err := cfg.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "joinoptd:", err)
+			os.Exit(1)
+		}
+		ccfg = &cfg
+	}
+	if err := run(*listen, *traceFile, *stateDir, *stateFaults, *drainGrace, ccfg, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "joinoptd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, traceFile, stateDir, stateFaults string, drainGrace time.Duration, opts service.Options) error {
+func run(listen, traceFile, stateDir, stateFaults string, drainGrace time.Duration, ccfg *cluster.Config, opts service.Options) error {
 	logger := log.New(os.Stderr, "joinoptd: ", log.LstdFlags)
+	opts.Logf = logger.Printf
+	// One registry shared by the service, the durable store, and the cluster
+	// layer, so /metrics is a single coherent exposition.
+	opts.Metrics = obs.NewRegistry()
 
 	if traceFile != "" {
 		f, err := os.Create(traceFile)
@@ -85,7 +137,6 @@ func run(listen, traceFile, stateDir, stateFaults string, drainGrace time.Durati
 	}
 
 	if stateDir != "" {
-		opts.Metrics = obs.NewRegistry()
 		dopts := durable.Options{Metrics: opts.Metrics}
 		if stateFaults != "" {
 			fp, err := faults.Parse(stateFaults)
@@ -111,8 +162,24 @@ func run(listen, traceFile, stateDir, stateFaults string, drainGrace time.Durati
 		}
 	}
 
+	var cl *cluster.Cluster
+	if ccfg != nil {
+		var err error
+		cl, err = cluster.New(*ccfg, opts.Metrics, logger)
+		if err != nil {
+			return err
+		}
+		opts.Cluster = cl
+	}
+
 	svc := service.New(opts)
 	srv := &http.Server{Handler: svc.Handler()}
+	if cl != nil {
+		cl.Start()
+		defer cl.Stop()
+		logger.Printf("cluster: %s of %d replicas (%d vnodes, forward=%s)",
+			cl.SelfName(), cl.Size(), ccfg.VNodes, opts.ForwardMode)
+	}
 
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
@@ -138,6 +205,16 @@ func run(listen, traceFile, stateDir, stateFaults string, drainGrace time.Durati
 	dctx, cancel := context.WithTimeout(context.Background(), drainGrace)
 	defer cancel()
 	svc.Drain(dctx)
+	if cl != nil {
+		// Canceled-but-resumable adaptive jobs hand off to their ring
+		// successor so the fleet finishes what this replica started. Fresh
+		// context: dctx may have spent its whole grace inside Drain.
+		hctx, hcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if n := svc.Handoff(hctx); n > 0 {
+			logger.Printf("cluster: handed %d checkpointed jobs to successors", n)
+		}
+		hcancel()
+	}
 	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer scancel()
 	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -6,6 +6,13 @@
 //
 //	joinoptd -listen :8080 &
 //	loadgen -addr localhost:8080 -clients 8 -jobs 64 -tenants 2
+//
+// Against a fleet, -targets takes every replica; a 503 (draining replica)
+// or a connection error rotates the client to the next target instead of
+// failing the job, so a rolling restart shows up as rebalanced load, not
+// errors:
+//
+//	loadgen -targets localhost:8081,localhost:8082 -clients 8 -jobs 64
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,23 +36,60 @@ import (
 // summary is the machine-readable run report behind -json (committed as
 // BENCH_service.json by `make bench-service`).
 type summary struct {
-	Clients       int     `json:"clients"`
-	Tenants       int     `json:"tenants"`
-	JobsCompleted int64   `json:"jobs_completed"`
-	JobsFailed    int64   `json:"jobs_failed"`
-	Rejected429   int64   `json:"rejected_429"`
-	Rate429       float64 `json:"rate_429"` // 429s per submission attempt
-	ElapsedSec    float64 `json:"elapsed_sec"`
-	JobsPerSec    float64 `json:"jobs_per_sec"`
-	LatencyP50Ms  float64 `json:"latency_p50_ms"` // end-to-end submit→done
-	LatencyP99Ms  float64 `json:"latency_p99_ms"`
-	GoodTuples    int64   `json:"good_tuples"`
-	BadTuples     int64   `json:"bad_tuples"`
+	Clients       int              `json:"clients"`
+	Tenants       int              `json:"tenants"`
+	JobsCompleted int64            `json:"jobs_completed"`
+	JobsFailed    int64            `json:"jobs_failed"`
+	Rejected429   int64            `json:"rejected_429"`
+	Rejected503   int64            `json:"rejected_503"`
+	Rate429       float64          `json:"rate_429"` // 429s per submission attempt
+	ElapsedSec    float64          `json:"elapsed_sec"`
+	JobsPerSec    float64          `json:"jobs_per_sec"`
+	LatencyP50Ms  float64          `json:"latency_p50_ms"` // end-to-end submit→done
+	LatencyP99Ms  float64          `json:"latency_p99_ms"`
+	GoodTuples    int64            `json:"good_tuples"`
+	BadTuples     int64            `json:"bad_tuples"`
+	PerTarget     map[string]int64 `json:"per_target,omitempty"` // accepted submissions by target
+}
+
+// targetSet is the rotation of daemon base URLs a client walks when one
+// pushes back (429/503) or drops the connection.
+type targetSet struct {
+	bases  []string
+	counts []atomic.Int64 // accepted submissions per base
+}
+
+func newTargetSet(addrCSV string) (*targetSet, error) {
+	ts := &targetSet{}
+	for _, a := range strings.Split(addrCSV, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		ts.bases = append(ts.bases, strings.TrimRight(a, "/"))
+	}
+	if len(ts.bases) == 0 {
+		return nil, fmt.Errorf("no targets")
+	}
+	ts.counts = make([]atomic.Int64, len(ts.bases))
+	return ts, nil
+}
+
+func (ts *targetSet) perTarget() map[string]int64 {
+	m := make(map[string]int64, len(ts.bases))
+	for i, b := range ts.bases {
+		m[b] = ts.counts[i].Load()
+	}
+	return m
 }
 
 func main() {
 	var (
-		addr     = flag.String("addr", "localhost:8080", "joinoptd address")
+		addr     = flag.String("addr", "localhost:8080", "joinoptd address (single target)")
+		targets  = flag.String("targets", "", "comma-separated joinoptd addresses; rotate on 429/503/conn-error (overrides -addr)")
 		clients  = flag.Int("clients", 4, "concurrent closed-loop clients")
 		jobs     = flag.Int("jobs", 32, "total jobs to submit")
 		tenants  = flag.Int("tenants", 1, "spread jobs round-robin over this many tenants")
@@ -58,14 +103,23 @@ func main() {
 	)
 	flag.Parse()
 
-	base := "http://" + *addr
+	csv := *targets
+	if csv == "" {
+		csv = *addr
+	}
+	ts, err := newTargetSet(csv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
 	var (
-		next      atomic.Int64
-		done      atomic.Int64
-		failed    atomic.Int64
-		rejected  atomic.Int64
-		good, bad atomic.Int64
-		wg        sync.WaitGroup
+		next        atomic.Int64
+		done        atomic.Int64
+		failed      atomic.Int64
+		rejected    atomic.Int64
+		unavailable atomic.Int64
+		good, bad   atomic.Int64
+		wg          sync.WaitGroup
 
 		latMu     sync.Mutex
 		latencies []float64 // ms, completed jobs only
@@ -73,7 +127,7 @@ func main() {
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
-		go func() {
+		go func(c int) {
 			defer wg.Done()
 			for {
 				n := next.Add(1)
@@ -91,7 +145,7 @@ func main() {
 					},
 				}
 				jobStart := time.Now()
-				res, err := runJob(base, req, *timeout, &rejected)
+				res, err := runJob(ts, c, req, *timeout, &rejected, &unavailable)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "loadgen: job %d: %v\n", n, err)
 					failed.Add(1)
@@ -104,12 +158,12 @@ func main() {
 				good.Add(int64(res.Good))
 				bad.Add(int64(res.Bad))
 			}
-		}()
+		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	fmt.Printf("loadgen: %d done, %d failed, %d retried-after-429, %.1f jobs/s, %d good / %d bad tuples total\n",
-		done.Load(), failed.Load(), rejected.Load(),
+	fmt.Printf("loadgen: %d done, %d failed, %d retried-after-429, %d retried-after-503, %.1f jobs/s, %d good / %d bad tuples total\n",
+		done.Load(), failed.Load(), rejected.Load(), unavailable.Load(),
 		float64(done.Load())/elapsed.Seconds(), good.Load(), bad.Load())
 
 	if *jsonPath != "" {
@@ -120,12 +174,14 @@ func main() {
 			JobsCompleted: done.Load(),
 			JobsFailed:    failed.Load(),
 			Rejected429:   rejected.Load(),
+			Rejected503:   unavailable.Load(),
 			ElapsedSec:    elapsed.Seconds(),
 			JobsPerSec:    float64(done.Load()) / elapsed.Seconds(),
 			LatencyP50Ms:  percentile(latencies, 0.50),
 			LatencyP99Ms:  percentile(latencies, 0.99),
 			GoodTuples:    good.Load(),
 			BadTuples:     bad.Load(),
+			PerTarget:     ts.perTarget(),
 		}
 		if attempts > 0 {
 			s.Rate429 = float64(rejected.Load()) / float64(attempts)
@@ -169,9 +225,11 @@ func writeSummary(path string, s summary) error {
 	return os.WriteFile(path, b, 0o644)
 }
 
-// runJob submits one job, retrying 429s per the Retry-After hint, then polls
-// it to completion.
-func runJob(base string, req service.JobRequest, timeout time.Duration, rejected *atomic.Int64) (*service.JobResult, error) {
+// runJob submits one job — retrying 429s per the Retry-After hint, rotating
+// to the next target on 503 (draining) or a connection error — then polls it
+// to completion. Polls hit the target that accepted the submission; cluster
+// replicas 307-redirect job IDs they don't hold, and http.Get follows.
+func runJob(ts *targetSet, client int, req service.JobRequest, timeout time.Duration, rejected, unavailable *atomic.Int64) (*service.JobResult, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -179,10 +237,30 @@ func runJob(base string, req service.JobRequest, timeout time.Duration, rejected
 	deadline := time.Now().Add(timeout)
 
 	var id string
+	var base string
+	ti := client % len(ts.bases) // spread clients over the fleet
 	for {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("timed out waiting for admission")
+		}
+		base = ts.bases[ti%len(ts.bases)]
 		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return nil, err
+			// Target gone (restart, crash): try the next one.
+			ti++
+			unavailable.Add(1)
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Draining: same treatment as 429 — back off — but move to the
+			// next target, since this one will not come back for this run.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ti++
+			unavailable.Add(1)
+			time.Sleep(100 * time.Millisecond)
+			continue
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			wait := time.Second
@@ -194,6 +272,7 @@ func runJob(base string, req service.JobRequest, timeout time.Duration, rejected
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			rejected.Add(1)
+			ti++ // another replica may have queue headroom right now
 			if time.Now().Add(wait).After(deadline) {
 				return nil, fmt.Errorf("timed out waiting for admission")
 			}
@@ -212,18 +291,36 @@ func runJob(base string, req service.JobRequest, timeout time.Duration, rejected
 			return nil, err
 		}
 		id = st.ID
+		ts.counts[ti%len(ts.bases)].Add(1)
 		break
 	}
 
+	pollMiss := 0
 	for time.Now().Before(deadline) {
 		resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
 		if err != nil {
-			return nil, err
+			// The accepting target died; any surviving replica can route (or
+			// now owns) the job. Rotate and keep polling.
+			ti++
+			base = ts.bases[ti%len(ts.bases)]
+			time.Sleep(100 * time.Millisecond)
+			continue
 		}
 		if resp.StatusCode == http.StatusAccepted {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound && pollMiss < 50 {
+			// A migrating job can be momentarily unknown everywhere (origin
+			// dead, successor not yet adopted): poll through the gap.
+			pollMiss++
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ti++
+			base = ts.bases[ti%len(ts.bases)]
+			time.Sleep(100 * time.Millisecond)
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Config declares one replica's view of the fleet. Every replica must be
+// started with the same peer list (order irrelevant — it is sorted) and the
+// same VNodes, or they will compute different rings and route the same
+// workload to different owners.
+type Config struct {
+	// Self is this replica's advertised base URL. It must appear in Peers.
+	Self string
+	// Peers lists every replica's base URL, including Self.
+	Peers []string
+	// VNodes is the virtual nodes per member on the ring (default 64).
+	VNodes int
+	// ProbeInterval is how often each peer's /healthz is probed (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default ProbeInterval/2).
+	ProbeTimeout time.Duration
+	// SuspectAfter is the consecutive probe failures that mark a peer
+	// suspect (default 2); DownAfter marks it down and reroutes its
+	// workloads (default 4). SuspectAfter must not exceed DownAfter.
+	SuspectAfter int
+	// DownAfter is the consecutive probe failures that mark a peer down.
+	DownAfter int
+}
+
+// ParseConfig validates the -self/-peers flag values into a Config,
+// returning descriptive errors for the configuration mistakes operators
+// actually make — malformed URLs, a self address missing from the peer
+// list, duplicated peers — instead of letting the daemon boot and fail on
+// its first probe or, worse, route against a ring its peers do not share.
+func ParseConfig(self, peersCSV string, vnodes int) (Config, error) {
+	cfg := Config{VNodes: vnodes}
+	if peersCSV == "" {
+		return cfg, fmt.Errorf("cluster: -peers is empty; list every replica's base URL, including this one (-self)")
+	}
+	if self == "" {
+		return cfg, fmt.Errorf("cluster: -peers given without -self; every replica must know its own advertised URL")
+	}
+	normSelf, err := normalizePeerURL(self)
+	if err != nil {
+		return cfg, fmt.Errorf("cluster: -self %q: %w", self, err)
+	}
+	cfg.Self = normSelf
+
+	seen := map[string]string{} // normalized → as written
+	for _, raw := range strings.Split(peersCSV, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			return cfg, fmt.Errorf("cluster: -peers %q has an empty entry (stray comma?)", peersCSV)
+		}
+		norm, err := normalizePeerURL(raw)
+		if err != nil {
+			return cfg, fmt.Errorf("cluster: -peers entry %q: %w", raw, err)
+		}
+		if prev, dup := seen[norm]; dup {
+			return cfg, fmt.Errorf("cluster: -peers lists %q twice (as %q and %q); each replica appears exactly once", norm, prev, raw)
+		}
+		seen[norm] = raw
+		cfg.Peers = append(cfg.Peers, norm)
+	}
+	if _, ok := seen[cfg.Self]; !ok {
+		return cfg, fmt.Errorf("cluster: -self %s is not in -peers (%s); the peer list is the whole fleet and must include this replica",
+			cfg.Self, strings.Join(cfg.Peers, ", "))
+	}
+	return cfg, cfg.Validate()
+}
+
+// Validate applies defaults and rejects inconsistent knob combinations.
+func (c *Config) Validate() error {
+	if c.VNodes == 0 {
+		c.VNodes = 64
+	}
+	if c.VNodes < 1 {
+		return fmt.Errorf("cluster: vnodes must be >= 1, got %d", c.VNodes)
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeInterval < 0 {
+		return fmt.Errorf("cluster: probe interval must be positive, got %s", c.ProbeInterval)
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = c.ProbeInterval / 2
+	}
+	if c.ProbeTimeout < 0 {
+		return fmt.Errorf("cluster: probe timeout must be positive, got %s", c.ProbeTimeout)
+	}
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DownAfter == 0 {
+		c.DownAfter = 4
+	}
+	if c.SuspectAfter < 1 || c.DownAfter < 1 {
+		return fmt.Errorf("cluster: suspect-after (%d) and down-after (%d) must be >= 1", c.SuspectAfter, c.DownAfter)
+	}
+	if c.SuspectAfter > c.DownAfter {
+		return fmt.Errorf("cluster: suspect-after (%d) exceeds down-after (%d); a peer cannot go down before it is suspect", c.SuspectAfter, c.DownAfter)
+	}
+	if len(c.Peers) == 0 {
+		return fmt.Errorf("cluster: peer list is empty")
+	}
+	return nil
+}
+
+// normalizePeerURL canonicalizes one peer base URL so that spelling
+// variants ("HTTP://Host:8080/", "http://host:8080") compare equal across
+// replicas' flag values.
+func normalizePeerURL(raw string) (string, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("not a URL: %w", err)
+	}
+	switch u.Scheme {
+	case "http", "https":
+	case "":
+		return "", fmt.Errorf("missing scheme (want http:// or https://)")
+	default:
+		return "", fmt.Errorf("unsupported scheme %q (want http or https)", u.Scheme)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("missing host")
+	}
+	if u.RawQuery != "" || u.Fragment != "" || (u.Path != "" && u.Path != "/") {
+		return "", fmt.Errorf("must be a base URL (scheme://host[:port]), got extra path or query")
+	}
+	u.Scheme = strings.ToLower(u.Scheme)
+	u.Host = strings.ToLower(u.Host)
+	u.Path = ""
+	return u.String(), nil
+}
+
+// names assigns each sorted peer its stable short name ("n0", "n1", …),
+// which prefixes cluster job IDs ("n1-j000042") so any replica can route a
+// job lookup to the replica that created it. The mapping is a pure function
+// of the sorted peer list, so all replicas agree on it.
+func names(sortedPeers []string) map[string]string {
+	byURL := make(map[string]string, len(sortedPeers))
+	for i, p := range sortedPeers {
+		byURL[p] = fmt.Sprintf("n%d", i)
+	}
+	return byURL
+}
+
+// sortedPeers returns the canonical (sorted) peer ordering.
+func (c *Config) sortedPeers() []string {
+	s := append([]string(nil), c.Peers...)
+	sort.Strings(s)
+	return s
+}

@@ -21,6 +21,8 @@
 //	  <job>.result     final JobResult of a finished job, same envelope
 //	cache/<workload>/
 //	  s<side>_d<doc>_t<thetabits>  one extraction result, CRC'd JSON
+//	standby/
+//	  <job>.sb         replicated peer job (cluster migration), same envelope
 //
 // All writes that recovery depends on go through the atomic tmp+rename
 // protocol (write temp file, fsync it, rename over the target) so readers
@@ -87,7 +89,7 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 			m.Counter(obs.Series(obs.MetricDurableErrs, "op", op)).Inc()
 		}
 	}
-	for _, d := range []string{dir, filepath.Join(dir, "snapshots"), filepath.Join(dir, "cache")} {
+	for _, d := range []string{dir, filepath.Join(dir, "snapshots"), filepath.Join(dir, "cache"), filepath.Join(dir, "standby")} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, nil, fmt.Errorf("durable: creating %s: %w", d, err)
 		}

@@ -1,0 +1,69 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Standby snapshots are the durable half of cluster checkpoint replication:
+// when a peer streams a running job's checkpoint to this replica (because
+// this replica would inherit the job's workload if the peer died), the
+// payload lands here — so a replica that is both the standby AND restarts
+// before the origin dies still holds the jobs it may need to adopt. They
+// ride the same versioned CRC envelope as checkpoint/result snapshots.
+
+func (s *Store) standbyPath(id string) string {
+	return filepath.Join(s.dir, "standby", id+".sb")
+}
+
+// SaveStandby persists a replicated peer job (the service's standby wire
+// encoding), atomically replacing any previous version. Failures are
+// absorbed like every write path.
+func (s *Store) SaveStandby(id string, payload []byte) {
+	if s == nil {
+		return
+	}
+	s.save(s.standbyPath(id), payload)
+}
+
+// DeleteStandby drops a standby entry once the origin finished the job or
+// this replica adopted it. Removal failures are ignored: a stale standby
+// entry re-loaded after a restart is filtered against the job store.
+func (s *Store) DeleteStandby(id string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	frozen := s.frozen
+	s.mu.Unlock()
+	if frozen {
+		return
+	}
+	os.Remove(s.standbyPath(id))
+}
+
+// LoadStandbys returns every persisted standby entry that passes
+// verification, keyed by job ID. Corrupt entries are rejected (counted,
+// deleted, store degraded) exactly like corrupt snapshots.
+func (s *Store) LoadStandbys() map[string][]byte {
+	if s == nil {
+		return nil
+	}
+	entries, err := os.ReadDir(filepath.Join(s.dir, "standby"))
+	if err != nil {
+		return nil
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".sb") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".sb")
+		if payload, ok := s.load(s.standbyPath(id)); ok {
+			out[id] = payload
+		}
+	}
+	return out
+}

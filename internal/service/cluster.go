@@ -1,0 +1,480 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"joinopt"
+	"joinopt/internal/cluster"
+	"joinopt/internal/durable"
+	"joinopt/internal/obs"
+)
+
+// The cluster side of the service: ownership-aware routing for the HTTP
+// layer, checkpoint replication to the ring successor, and job migration —
+// adopting a dead or draining peer's jobs from their replicated checkpoints
+// and resuming them with WithCheckpoint, bit-identical to an uninterrupted
+// run (the invariant the crash-smoke harness pins in-process and
+// cluster-smoke pins across processes).
+
+// forwardHeader marks an intra-cluster request so the receiver serves it
+// locally instead of re-forwarding — one hop, never a loop, even when two
+// replicas transiently disagree about ownership.
+const forwardHeader = "X-Joinopt-Forwarded"
+
+// Forward modes (Options.ForwardMode).
+const (
+	// ForwardProxy transparently re-issues a mis-addressed submission to
+	// the owner and relays its response (default — clients need no redirect
+	// support and keep talking to one address).
+	ForwardProxy = "proxy"
+	// ForwardRedirect answers mis-addressed submissions with 307 and the
+	// owner's URL (clients re-POST; cheaper for large request bodies).
+	ForwardRedirect = "redirect"
+)
+
+// CanonicalWorkloadKey is the cluster routing key of a job request: the
+// same canonical workload string that namespaces the durable cache tier, so
+// all jobs of one workload land on the replica holding its trained
+// machinery, memoized optimizer inputs, and warmed disk tier. Cache sizing
+// is deliberately not part of the key — replicas with different cache
+// defaults must still agree on ownership.
+func CanonicalWorkloadKey(req JobRequest) string {
+	spec := req.Workload
+	if req.Query == nil && spec.Relations == [2]string{} {
+		spec.Relations = [2]string{"HQ", "EX"}
+	}
+	if spec.NumDocs == 0 {
+		spec.NumDocs = 1000
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	spec.CacheBytes = 0
+	return cacheNamespace(regKey{wl: spec, query: req.Query.key()})
+}
+
+// standbyWire is the POST /v1/cluster/standby payload: everything a peer
+// needs to adopt one job — the original request, the latest checkpoint, and
+// the origin so a down-transition knows which entries to activate.
+type standbyWire struct {
+	ID         string          `json:"id"`
+	Tenant     string          `json:"tenant"`
+	Origin     string          `json:"origin"` // member name of the replica running the job
+	Request    json.RawMessage `json:"request"`
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"` // joinopt checkpoint wire; absent for queued jobs
+	// Activate asks the receiver to run the job now (drain handoff);
+	// without it the entry is held in standby until the origin goes down.
+	Activate bool `json:"activate,omitempty"`
+	// Done retires the entry: the origin finished the job itself.
+	Done bool `json:"done,omitempty"`
+}
+
+// standbyStore holds the peer jobs this replica may need to adopt.
+type standbyStore struct {
+	mu      sync.Mutex
+	entries map[string]standbyWire
+	gauge   *obs.Gauge
+}
+
+func newStandbyStore(m *obs.Registry) *standbyStore {
+	return &standbyStore{entries: map[string]standbyWire{}, gauge: m.Gauge(cluster.MetricStandbyJobs)}
+}
+
+func (st *standbyStore) put(w standbyWire) {
+	st.mu.Lock()
+	st.entries[w.ID] = w
+	st.gauge.Set(float64(len(st.entries)))
+	st.mu.Unlock()
+}
+
+func (st *standbyStore) remove(id string) (standbyWire, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	w, ok := st.entries[id]
+	if ok {
+		delete(st.entries, id)
+		st.gauge.Set(float64(len(st.entries)))
+	}
+	return w, ok
+}
+
+// fromOrigin snapshots the entries replicated by one member.
+func (st *standbyStore) fromOrigin(origin string) []standbyWire {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []standbyWire
+	for _, w := range st.entries {
+		if w.Origin == origin {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func (st *standbyStore) size() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.entries)
+}
+
+// initCluster wires the cluster into a freshly built service: metric
+// counters, the standby store (reloaded from the durable tier when one
+// exists), and the down-transition hook that migrates a dead peer's jobs.
+// Runs during New, before the service serves.
+func (s *Service) initCluster() {
+	c := s.opts.Cluster
+	m := s.opts.Metrics
+	s.standby = newStandbyStore(m)
+	s.migrations = map[string]*obs.Counter{
+		"takeover": m.Counter(obs.Series(cluster.MetricMigrations, "how", "takeover")),
+		"handoff":  m.Counter(obs.Series(cluster.MetricMigrations, "how", "handoff")),
+	}
+	if d := s.opts.Durable; d != nil {
+		for id, payload := range d.LoadStandbys() {
+			var w standbyWire
+			if err := json.Unmarshal(payload, &w); err != nil || w.ID != id {
+				m.Counter(obs.Series(obs.MetricDurableErrs, "op", "standby")).Inc()
+				d.DeleteStandby(id)
+				continue
+			}
+			if j, err := s.job(id); err == nil && j.terminal() {
+				d.DeleteStandby(id) // adopted or finished before the restart
+				continue
+			}
+			s.standby.put(w)
+		}
+	}
+	c.OnDown(func(name string) { s.migrateFrom(name) })
+}
+
+// ownerFor resolves the owning replica of a request's workload. self
+// reports whether this replica is the owner.
+func (s *Service) ownerFor(req JobRequest) (name, url string, self bool) {
+	c := s.opts.Cluster
+	if c == nil {
+		return "", "", true
+	}
+	name, url = c.Owner(CanonicalWorkloadKey(req))
+	return name, url, name == c.SelfName()
+}
+
+// replicateCheckpoint streams a running job's latest checkpoint to the
+// replica that would inherit its workload, synchronously (checkpoints are
+// per protocol transition, and ordering matters: the standby must never
+// hold a newer checkpoint's predecessor). Failures are absorbed — the
+// origin still has the durable tier, and the next checkpoint retries.
+func (s *Service) replicateCheckpoint(j *Job, ckWire []byte) {
+	c := s.opts.Cluster
+	_, url, ok := c.StandbyTarget(j.key)
+	if !ok {
+		return
+	}
+	reqWire, err := json.Marshal(j.req)
+	if err != nil {
+		return
+	}
+	if err := s.sendStandby(url, standbyWire{
+		ID: j.ID, Tenant: j.Tenant, Origin: c.SelfName(),
+		Request: reqWire, Checkpoint: ckWire,
+	}); err != nil {
+		s.logf("cluster: replicating checkpoint of %s to %s: %v", j.ID, url, err)
+	}
+}
+
+// retireStandby tells the standby holder a job finished, so the replicated
+// entry does not linger (and cannot be spuriously adopted later).
+func (s *Service) retireStandby(j *Job) {
+	c := s.opts.Cluster
+	_, url, ok := c.StandbyTarget(j.key)
+	if !ok {
+		return
+	}
+	s.sendStandby(url, standbyWire{ID: j.ID, Origin: c.SelfName(), Done: true})
+}
+
+// sendStandby posts one standby message to a peer. Best-effort.
+func (s *Service) sendStandby(url string, w standbyWire) error {
+	body, err := json.Marshal(w)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/cluster/standby", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardHeader, "1")
+	resp, err := s.opts.Cluster.Client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("standby %s: %s", url, resp.Status)
+	}
+	return nil
+}
+
+// acceptStandby handles one POST /v1/cluster/standby message: retire,
+// activate (drain handoff), or hold.
+func (s *Service) acceptStandby(w standbyWire) error {
+	if w.ID == "" {
+		return fmt.Errorf("standby message without a job id")
+	}
+	// The message itself proves its origin is alive — stronger evidence
+	// than a probe. Resetting the probe state here guarantees the origin's
+	// real death later is a fresh down-transition, so the migration hook
+	// fires with this entry in the store (and never strands it behind a
+	// stale false-down from a slow /healthz).
+	if w.Origin != "" {
+		s.opts.Cluster.ReportAlive(w.Origin)
+	}
+	if w.Done {
+		s.standby.remove(w.ID)
+		if d := s.opts.Durable; d != nil {
+			d.DeleteStandby(w.ID)
+		}
+		return nil
+	}
+	if len(w.Request) == 0 {
+		return fmt.Errorf("standby message for %s carries no job request", w.ID)
+	}
+	if w.Activate {
+		return s.adopt(w, "handoff")
+	}
+	s.standby.put(w)
+	if d := s.opts.Durable; d != nil {
+		if payload, err := json.Marshal(w); err == nil {
+			d.SaveStandby(w.ID, payload)
+		}
+	}
+	return nil
+}
+
+// migrateFrom adopts every standby entry replicated by a member now probed
+// down. Entries whose workload this replica does not own after the
+// remapping are left in standby — their new owner holds its own replica of
+// them (the origin replicated each checkpoint to that key's successor, and
+// this replica is only the successor for keys it inherits).
+func (s *Service) migrateFrom(origin string) {
+	if s.draining.Load() {
+		return // a draining survivor must not adopt new work
+	}
+	for _, w := range s.standby.fromOrigin(origin) {
+		var req JobRequest
+		if err := json.Unmarshal(w.Request, &req); err != nil {
+			continue
+		}
+		if _, _, self := s.ownerFor(req); !self {
+			continue
+		}
+		if err := s.adopt(w, "takeover"); err != nil {
+			s.logf("cluster: adopting %s from down peer %s: %v", w.ID, origin, err)
+		}
+	}
+}
+
+// adopt runs a replicated peer job on this replica: the job enters the
+// store under its original cluster-wide ID, is journaled like a local
+// submission (so it survives this replica crashing too), and resumes from
+// the replicated checkpoint when one exists — the bit-identical-resume
+// contract makes the migrated run indistinguishable from one the origin
+// finished itself.
+func (s *Service) adopt(w standbyWire, how string) error {
+	s.standby.remove(w.ID)
+	if d := s.opts.Durable; d != nil {
+		d.DeleteStandby(w.ID)
+	}
+	if _, err := s.job(w.ID); err == nil {
+		return nil // already adopted (hook re-fire) or recovered locally
+	}
+	var req JobRequest
+	if err := json.Unmarshal(w.Request, &req); err != nil {
+		return fmt.Errorf("replicated request does not parse: %w", err)
+	}
+	var recovered *joinopt.AdaptiveCheckpoint
+	if len(w.Checkpoint) > 0 {
+		ck, err := joinopt.DecodeCheckpoint(w.Checkpoint)
+		if err != nil {
+			// A damaged replica is detected, not trusted: re-run from
+			// scratch — still deterministic, just slower.
+			s.logf("cluster: replicated checkpoint of %s rejected (%v); re-running from scratch", w.ID, err)
+		} else {
+			recovered = ck
+		}
+	}
+	var plan *joinopt.Plan
+	if req.Mode == ModeExecute && req.Plan != nil {
+		if p, err := req.Plan.plan(); err == nil {
+			plan = &p
+		}
+	}
+	seq := s.seq.Add(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		ID:        w.ID,
+		Tenant:    w.Tenant,
+		Priority:  req.Priority,
+		seq:       seq,
+		req:       req,
+		plan:      plan,
+		key:       CanonicalWorkloadKey(req),
+		node:      s.selfNode(),
+		ctx:       ctx,
+		cancel:    cancel,
+		events:    newEventLog(),
+		state:     StateQueued,
+		submitted: time.Now(),
+		recovered: recovered,
+	}
+	s.storeJob(j)
+	if s.opts.Durable != nil {
+		s.journal(durable.Record{Seq: seq, Event: durable.EventSubmitted, JobID: j.ID, Tenant: j.Tenant, Request: w.Request})
+		if recovered != nil {
+			// Mark it started so a crash of THIS replica resumes from the
+			// checkpoint instead of re-running from scratch.
+			s.journal(durable.Record{Seq: seq, Event: durable.EventStarted, JobID: j.ID})
+			s.opts.Durable.SaveCheckpoint(j.ID, w.Checkpoint)
+		}
+	}
+	s.sched.forceSubmit(j)
+	s.migrations[how].Inc()
+	s.publishPool()
+	s.logf("cluster: adopted job %s from %s (%s, checkpoint=%v)", j.ID, w.Origin, how, recovered != nil)
+	return nil
+}
+
+// Handoff migrates this replica's unfinished adaptive jobs to their next
+// owners, checkpoint and all. Call it after Drain: canceled adaptive runs
+// hold their final checkpoint in memory, queued-then-canceled jobs hold
+// none and restart from scratch on the inheritor. Returns the number of
+// jobs handed off.
+func (s *Service) Handoff(ctx context.Context) int {
+	c := s.opts.Cluster
+	if c == nil {
+		return 0
+	}
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+
+	handed := 0
+	for _, j := range jobs {
+		if ctx.Err() != nil {
+			break
+		}
+		j.mu.Lock()
+		state, ck := j.state, j.checkpoint
+		mode := j.req.Mode
+		j.mu.Unlock()
+		if mode != ModeAdaptive && mode != "" {
+			continue
+		}
+		// A job that finished during the drain retires its standby entry
+		// here, synchronously: finish() retires asynchronously, and on the
+		// exit path that goroutine races process death — a stale entry
+		// left behind makes the survivor re-run a job that already
+		// completed once its origin is probed down.
+		if state == StateDone {
+			s.retireStandby(j)
+			continue
+		}
+		// Failed jobs stay here; only interrupted work moves. A canceled
+		// job with no checkpoint was queued (or non-adaptive): hand the
+		// bare request over so the acceptance is still honoured.
+		if state != StateCanceled {
+			continue
+		}
+		var ckWire json.RawMessage
+		if ck != nil {
+			if wire, err := json.Marshal(ck); err == nil {
+				ckWire = wire
+			}
+		}
+		reqWire, err := json.Marshal(j.req)
+		if err != nil {
+			continue
+		}
+		_, url, ok := c.StandbyTarget(j.key)
+		if !ok {
+			s.logf("cluster: no live peer to hand job %s to; it stays canceled here", j.ID)
+			continue
+		}
+		if err := s.sendStandby(url, standbyWire{
+			ID: j.ID, Tenant: j.Tenant, Origin: c.SelfName(),
+			Request: reqWire, Checkpoint: ckWire, Activate: true,
+		}); err != nil {
+			s.logf("cluster: handing job %s to %s failed: %v", j.ID, url, err)
+			continue
+		}
+		handed++
+	}
+	if handed > 0 {
+		s.logf("cluster: handed %d interrupted jobs to their next owners", handed)
+	}
+	return handed
+}
+
+// StandbyCount returns the replicated peer jobs currently held (0 without
+// a cluster).
+func (s *Service) StandbyCount() int {
+	if s.standby == nil {
+		return 0
+	}
+	return s.standby.size()
+}
+
+// nodeJobID renders a job ID. Cluster IDs carry the replica's name
+// ("n1-j000042") so any replica can route a lookup to the replica that
+// created the job.
+func (s *Service) nodeJobID(seq uint64) string {
+	if c := s.opts.Cluster; c != nil {
+		return fmt.Sprintf("%s-j%06d", c.SelfName(), seq)
+	}
+	return fmt.Sprintf("j%06d", seq)
+}
+
+// routeJobID resolves which peer a cluster job ID belongs to. ok is false
+// for local, unparseable, or unknown-member IDs.
+func (s *Service) routeJobID(id string) (url string, ok bool) {
+	c := s.opts.Cluster
+	if c == nil {
+		return "", false
+	}
+	name, _, found := strings.Cut(id, "-")
+	if !found || name == c.SelfName() {
+		return "", false
+	}
+	url, known := c.PeerURL(name)
+	if !known || c.MemberState(name) == cluster.StateDown {
+		return "", false
+	}
+	return url, true
+}
+
+// selfNode returns this replica's member name ("" outside a cluster).
+func (s *Service) selfNode() string {
+	if c := s.opts.Cluster; c != nil {
+		return c.SelfName()
+	}
+	return ""
+}
+
+// logf logs through the service's optional logger.
+func (s *Service) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}

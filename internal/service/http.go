@@ -1,12 +1,15 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
 
+	"joinopt/internal/cluster"
 	"joinopt/internal/obs"
 )
 
@@ -17,9 +20,17 @@ import (
 //	GET    /v1/jobs/{id}/result finished result (202 while pending)
 //	GET    /v1/jobs/{id}/events stream the execution trace as NDJSON
 //	DELETE /v1/jobs/{id}        cancel (running adaptive jobs checkpoint)
+//	GET    /v1/cluster          ring + member state (cluster mode; ?key=
+//	                            resolves a workload key's owner)
+//	POST   /v1/cluster/standby  intra-cluster checkpoint replication
 //	GET    /metrics             Prometheus text exposition
 //	GET    /healthz             liveness
 //	GET    /readyz              readiness (503 while draining)
+//
+// In cluster mode any replica accepts any request: submissions are
+// forwarded (or 307-redirected, per Options.ForwardMode) to the workload's
+// owner, and job lookups whose node-prefixed ID names another live replica
+// are 307-redirected there.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -27,6 +38,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	if s.opts.Cluster != nil {
+		mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+		mux.HandleFunc("POST /v1/cluster/standby", s.handleStandby)
+	}
 	mux.Handle("GET /metrics", obs.Handler(s.opts.Metrics))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -70,12 +85,28 @@ func writeErr(w http.ResponseWriter, status int, err error, reason string) {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err, "bad_request")
+		return
+	}
 	var req JobRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err, "bad_request")
 		return
+	}
+	if c := s.opts.Cluster; c != nil && r.Header.Get(forwardHeader) == "" {
+		if _, ownerURL, self := s.ownerFor(req); !self {
+			if s.forwardSubmit(w, ownerURL, body) {
+				return
+			}
+			// Forwarding failed (owner unreachable mid-transition): serve
+			// locally — availability beats placement, and the run is
+			// deterministic wherever it executes, just cache-cold here.
+			s.opts.Metrics.Counter(obs.Series(cluster.MetricForwards, "kind", "fallback")).Inc()
+		}
 	}
 	j, err := s.Submit(req)
 	if err != nil {
@@ -104,9 +135,26 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.Status())
 }
 
+// redirectJob routes a locally unknown cluster job ID to the replica whose
+// name prefixes it (307, preserving the method). Local jobs always win the
+// lookup — a migrated job is served by its adopter even though its ID names
+// the dead origin.
+func (s *Service) redirectJob(w http.ResponseWriter, r *http.Request, id string) bool {
+	url, ok := s.routeJobID(id)
+	if !ok {
+		return false
+	}
+	s.opts.Metrics.Counter(obs.Series(cluster.MetricForwards, "kind", "redirect")).Inc()
+	http.Redirect(w, r, url+r.URL.Path, http.StatusTemporaryRedirect)
+	return true
+}
+
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, err := s.job(r.PathValue("id"))
 	if err != nil {
+		if s.redirectJob(w, r, r.PathValue("id")) {
+			return
+		}
 		writeErr(w, http.StatusNotFound, err, "not_found")
 		return
 	}
@@ -116,6 +164,9 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, err := s.job(r.PathValue("id"))
 	if err != nil {
+		if s.redirectJob(w, r, r.PathValue("id")) {
+			return
+		}
 		writeErr(w, http.StatusNotFound, err, "not_found")
 		return
 	}
@@ -142,6 +193,9 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, err := s.job(r.PathValue("id"))
 	if err != nil {
+		if s.redirectJob(w, r, r.PathValue("id")) {
+			return
+		}
 		writeErr(w, http.StatusNotFound, err, "not_found")
 		return
 	}
@@ -179,8 +233,75 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, err := s.Cancel(r.PathValue("id"))
 	if err != nil {
+		if s.redirectJob(w, r, r.PathValue("id")) {
+			return
+		}
 		writeErr(w, http.StatusNotFound, err, "not_found")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// forwardSubmit routes a submission to the workload's owner: a 307 in
+// redirect mode, a transparent server-side re-POST (relaying the owner's
+// response, 429s and all) in proxy mode. Returns false when the owner could
+// not be reached — the caller serves locally instead.
+func (s *Service) forwardSubmit(w http.ResponseWriter, ownerURL string, body []byte) bool {
+	m := s.opts.Metrics
+	if s.opts.ForwardMode == ForwardRedirect {
+		m.Counter(obs.Series(cluster.MetricForwards, "kind", "redirect")).Inc()
+		w.Header().Set("Location", ownerURL+"/v1/jobs")
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		return true
+	}
+	req, err := http.NewRequest(http.MethodPost, ownerURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardHeader, "1")
+	resp, err := s.opts.Cluster.Client().Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
+		// The owner is up but not admitting (draining): fall back local so
+		// a rolling restart never bounces clients.
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	m.Counter(obs.Series(cluster.MetricForwards, "kind", "proxy")).Inc()
+	for _, h := range []string{"Content-Type", "Retry-After", "Deprecation", "Link"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// handleCluster reports this replica's fleet view; ?key= additionally
+// resolves a workload key's owner.
+func (s *Service) handleCluster(w http.ResponseWriter, r *http.Request) {
+	info := s.opts.Cluster.Snapshot(s.StandbyCount(), r.URL.Query().Get("key"))
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleStandby accepts intra-cluster checkpoint replication and handoff
+// messages.
+func (s *Service) handleStandby(w http.ResponseWriter, r *http.Request) {
+	var msg standbyWire
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		writeErr(w, http.StatusBadRequest, err, "bad_request")
+		return
+	}
+	if err := s.acceptStandby(msg); err != nil {
+		writeErr(w, http.StatusBadRequest, err, "bad_request")
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		OK bool `json:"ok"`
+	}{true})
 }

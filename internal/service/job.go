@@ -173,7 +173,10 @@ const (
 
 // JobStatus is the GET /v1/jobs/{id} payload.
 type JobStatus struct {
-	ID        string     `json:"id"`
+	ID string `json:"id"`
+	// Node names the cluster replica holding the job (empty outside a
+	// cluster). A forwarded submission reports the owner that accepted it.
+	Node      string     `json:"node,omitempty"`
 	Tenant    string     `json:"tenant"`
 	Mode      string     `json:"mode"`
 	State     string     `json:"state"`
@@ -267,6 +270,11 @@ type Job struct {
 
 	req  JobRequest
 	plan *joinopt.Plan // parsed, execute mode only
+	// key is the canonical workload key (cluster routing + checkpoint
+	// replication target); node is the cluster replica name serving the
+	// job. Write-once at construction.
+	key  string
+	node string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -293,6 +301,7 @@ func (j *Job) Status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID:        j.ID,
+		Node:      j.node,
 		Tenant:    j.Tenant,
 		Mode:      j.req.Mode,
 		State:     j.state,

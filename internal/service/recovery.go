@@ -47,6 +47,8 @@ func (s *Service) recover(rec *durable.Recovered) {
 			Priority:  req.Priority,
 			seq:       rj.Seq,
 			req:       req,
+			key:       CanonicalWorkloadKey(req),
+			node:      s.selfNode(),
 			ctx:       ctx,
 			cancel:    cancel,
 			events:    newEventLog(),

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"joinopt"
+	"joinopt/internal/cluster"
 	"joinopt/internal/durable"
 	"joinopt/internal/obs"
 	"joinopt/internal/pipeline"
@@ -65,6 +66,20 @@ type Options struct {
 	// New re-enqueues, resumes, or reinstates every job in it before the
 	// service starts serving.
 	Recovered *durable.Recovered
+	// Cluster, when set, federates this replica with its peers: any replica
+	// accepts a submission and routes it to the workload's owner on the
+	// consistent-hash ring, running adaptive jobs replicate their
+	// checkpoints to the replica that would inherit them, and a dead or
+	// draining peer's jobs are adopted and resumed bit-identically. The
+	// caller owns the cluster's probe-loop lifecycle (Start after New).
+	Cluster *cluster.Cluster
+	// ForwardMode selects how mis-addressed submissions reach their owner:
+	// ForwardProxy (default) re-issues them server-side, ForwardRedirect
+	// answers 307.
+	ForwardMode string
+	// Logf, when set, receives operational log lines (cluster transitions,
+	// migrations, handoffs).
+	Logf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +106,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Metrics == nil {
 		o.Metrics = obs.NewRegistry()
+	}
+	if o.ForwardMode == "" {
+		o.ForwardMode = ForwardProxy
 	}
 	return o
 }
@@ -128,6 +146,16 @@ type Service struct {
 	drainedCh chan struct{}
 
 	jobWall *obs.Histogram
+
+	// Cluster state (nil/empty without Options.Cluster).
+	standby    *standbyStore
+	migrations map[string]*obs.Counter
+
+	// ckTestHook, when set (tests only, before any job runs), is called
+	// from the checkpoint sink after the checkpoint has persisted and
+	// replicated — a deterministic mid-run freeze point for migration
+	// tests, which otherwise race wall-clock against job completion.
+	ckTestHook func(*Job)
 }
 
 // New builds and starts a Service (its worker pool runs immediately).
@@ -160,6 +188,9 @@ func New(opts Options) *Service {
 	s.sched = newScheduler(opts.Workers, opts.QueueDepth, opts.TenantQuota, s.execute)
 	if opts.Durable != nil && opts.Recovered != nil {
 		s.recover(opts.Recovered)
+	}
+	if opts.Cluster != nil {
+		s.initCluster()
 	}
 	return s
 }
@@ -236,12 +267,14 @@ func (s *Service) Submit(req JobRequest) (*Job, error) {
 	seq := s.seq.Add(1)
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
-		ID:        fmt.Sprintf("j%06d", seq),
+		ID:        s.nodeJobID(seq),
 		Tenant:    req.Tenant,
 		Priority:  req.Priority,
 		seq:       seq,
 		req:       req,
 		plan:      plan,
+		key:       CanonicalWorkloadKey(req),
+		node:      s.selfNode(),
 		ctx:       ctx,
 		cancel:    cancel,
 		events:    newEventLog(),
@@ -495,13 +528,30 @@ func (s *Service) runJob(j *Job) (*JobResult, error) {
 	if j.req.Deadline > 0 {
 		opts = append(opts, joinopt.WithDeadline(j.req.Deadline))
 	}
-	if d := s.opts.Durable; d != nil && j.req.Mode == ModeAdaptive {
-		// Stream every protocol-transition checkpoint to disk; a daemon
-		// killed mid-run resumes this job from the last one persisted.
+	if (s.opts.Durable != nil || s.opts.Cluster != nil) && j.req.Mode == ModeAdaptive {
+		// Stream every protocol-transition checkpoint to disk — a daemon
+		// killed mid-run resumes this job from the last one persisted —
+		// and, in a cluster, to the replica that inherits this workload if
+		// this one dies: a SIGKILL'd replica's jobs resume on the standby
+		// from the same snapshots, bit-identical to an uninterrupted run.
+		d := s.opts.Durable
 		id := j.ID
 		opts = append(opts, joinopt.WithCheckpointSink(func(ck *joinopt.AdaptiveCheckpoint) {
-			if wire, err := json.Marshal(ck); err == nil {
+			wire, err := json.Marshal(ck)
+			if err != nil {
+				return
+			}
+			if d != nil {
 				d.SaveCheckpoint(id, wire)
+			}
+			if s.opts.Cluster != nil {
+				s.replicateCheckpoint(j, wire)
+			}
+			if hook := s.ckTestHook; hook != nil {
+				// Test seam: lets migration tests freeze a job at a point
+				// where its checkpoint has provably replicated, instead of
+				// racing wall-clock against job completion.
+				hook(j)
 			}
 		}))
 	}
@@ -623,6 +673,13 @@ func (s *Service) finish(j *Job, res *JobResult, err error) {
 			}
 		}
 		s.journal(durable.Record{Seq: j.seq, Event: durable.EventFinished, JobID: j.ID, State: state, Error: msg})
+	}
+
+	if s.opts.Cluster != nil && state == StateDone && (j.req.Mode == ModeAdaptive || j.req.Mode == "") {
+		// The origin finished the job itself: retire the replicated
+		// checkpoint so the standby never spuriously adopts a done job.
+		// Asynchronous — a slow peer must not serialize job completion.
+		go s.retireStandby(j)
 	}
 
 	m := s.opts.Metrics
