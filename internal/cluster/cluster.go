@@ -78,10 +78,11 @@ type Cluster struct {
 	nameOf   map[string]string // url → name
 	urlOf    map[string]string // name → url
 
-	mu     sync.Mutex
-	health map[string]*memberHealth // url → health (peers only, not self)
-	onDown []func(name string)
-	onUp   []func(name string)
+	mu      sync.Mutex
+	health  map[string]*memberHealth // url → health (peers only, not self)
+	onDown  []func(name string)
+	onUp    []func(name string)
+	started bool // probe loop launched; Stop only waits on doneCh if so
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -251,6 +252,9 @@ func (c *Cluster) Client() *http.Client { return c.client }
 // Start launches the probe loop. Probing is per-peer sequential within one
 // tick (fleets are small); a full sweep shares one tick.
 func (c *Cluster) Start() {
+	c.mu.Lock()
+	c.started = true
+	c.mu.Unlock()
 	go func() {
 		defer close(c.doneCh)
 		t := time.NewTicker(c.cfg.ProbeInterval)
@@ -266,10 +270,18 @@ func (c *Cluster) Start() {
 	}()
 }
 
-// Stop terminates the probe loop and waits for it to exit. Idempotent.
+// Stop terminates the probe loop and waits for it to exit. Idempotent, and
+// safe on a Cluster whose Start was never called (only the probe goroutine
+// closes doneCh, so waiting on it would otherwise deadlock error paths and
+// tests that construct but never start a Cluster).
 func (c *Cluster) Stop() {
 	c.stopOnce.Do(func() { close(c.stopCh) })
-	<-c.doneCh
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if started {
+		<-c.doneCh
+	}
 }
 
 // probeAll sweeps every peer once.

@@ -243,3 +243,29 @@ func TestMetrics(t *testing.T) {
 		t.Errorf("alive members gauge = %v, want 2", got)
 	}
 }
+
+// TestStopWithoutStart: Stop on a Cluster whose probe loop never launched
+// must return instead of waiting forever on the channel only that loop
+// closes — error paths and tests construct Clusters they never Start.
+func TestStopWithoutStart(t *testing.T) {
+	cfg := Config{
+		Self:          "http://self.invalid:1",
+		Peers:         []string{"http://self.invalid:1", "http://peer.invalid:2"},
+		ProbeInterval: 10 * time.Millisecond,
+	}
+	c, err := New(cfg, obs.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		c.Stop()
+		c.Stop() // still idempotent
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop deadlocked without Start")
+	}
+}

@@ -180,6 +180,12 @@ func (s *Service) replicateCheckpoint(j *Job, ckWire []byte) {
 	if err != nil {
 		return
 	}
+	j.mu.Lock()
+	if j.standbys == nil {
+		j.standbys = map[string]struct{}{}
+	}
+	j.standbys[url] = struct{}{}
+	j.mu.Unlock()
 	if err := s.sendStandby(url, standbyWire{
 		ID: j.ID, Tenant: j.Tenant, Origin: c.SelfName(),
 		Request: reqWire, Checkpoint: ckWire,
@@ -188,15 +194,28 @@ func (s *Service) replicateCheckpoint(j *Job, ckWire []byte) {
 	}
 }
 
-// retireStandby tells the standby holder a job finished, so the replicated
-// entry does not linger (and cannot be spuriously adopted later).
+// retireStandby tells every standby holder a job reached a terminal state,
+// so no replicated entry lingers (and cannot be spuriously adopted later).
+// It targets every peer the job was ever replicated to, not just the
+// current successor: a mid-run successor change (e.g. a transient
+// false-down of the original standby) would otherwise leave the earlier
+// holder a stale entry that no retire ever reaches. The current successor
+// is included too, covering jobs rebuilt after a restart whose replication
+// history did not survive in memory.
 func (s *Service) retireStandby(j *Job) {
 	c := s.opts.Cluster
-	_, url, ok := c.StandbyTarget(j.key)
-	if !ok {
-		return
+	targets := map[string]struct{}{}
+	if _, url, ok := c.StandbyTarget(j.key); ok {
+		targets[url] = struct{}{}
 	}
-	s.sendStandby(url, standbyWire{ID: j.ID, Origin: c.SelfName(), Done: true})
+	j.mu.Lock()
+	for url := range j.standbys {
+		targets[url] = struct{}{}
+	}
+	j.mu.Unlock()
+	for url := range targets {
+		s.sendStandby(url, standbyWire{ID: j.ID, Origin: c.SelfName(), Done: true})
+	}
 }
 
 // sendStandby posts one standby message to a peer. Best-effort.
@@ -249,6 +268,15 @@ func (s *Service) acceptStandby(w standbyWire) error {
 		return fmt.Errorf("standby message for %s carries no job request", w.ID)
 	}
 	if w.Activate {
+		// A draining replica must refuse handoffs: its workers have (or are
+		// about to have) exited, and adopt's forceSubmit bypasses the
+		// scheduler's draining check, so an accepted job would be journaled
+		// and then sit queued forever. During simultaneous rolling restarts
+		// two drains can point at each other — the non-200 makes the sender
+		// log the failure and keep the job recoverable at its origin.
+		if s.draining.Load() {
+			return fmt.Errorf("%w: refusing handoff of job %s", ErrDraining, w.ID)
+		}
 		return s.adopt(w, "handoff")
 	}
 	s.standby.put(w)
@@ -353,10 +381,14 @@ func (s *Service) adopt(w standbyWire, how string) error {
 	return nil
 }
 
-// Handoff migrates this replica's unfinished adaptive jobs to their next
-// owners, checkpoint and all. Call it after Drain: canceled adaptive runs
-// hold their final checkpoint in memory, queued-then-canceled jobs hold
-// none and restart from scratch on the inheritor. Returns the number of
+// Handoff migrates this replica's drain-interrupted adaptive jobs to their
+// next owners, checkpoint and all. Call it after Drain: drain-canceled
+// adaptive runs hold their final checkpoint in memory, queued-then-
+// drain-canceled jobs hold none and restart from scratch on the inheritor.
+// Jobs the user explicitly canceled are never handed off — the cancel
+// contract outlives the replica — and every terminal job it does not ship
+// gets its standby entry retired synchronously here, because finish()'s
+// async retire races process death on the exit path. Returns the number of
 // jobs handed off.
 func (s *Service) Handoff(ctx context.Context) int {
 	c := s.opts.Cluster
@@ -378,23 +410,24 @@ func (s *Service) Handoff(ctx context.Context) int {
 		j.mu.Lock()
 		state, ck := j.state, j.checkpoint
 		mode := j.req.Mode
+		drainCanceled := j.drainCanceled
 		j.mu.Unlock()
 		if mode != ModeAdaptive && mode != "" {
 			continue
 		}
-		// A job that finished during the drain retires its standby entry
-		// here, synchronously: finish() retires asynchronously, and on the
-		// exit path that goroutine races process death — a stale entry
-		// left behind makes the survivor re-run a job that already
-		// completed once its origin is probed down.
-		if state == StateDone {
-			s.retireStandby(j)
-			continue
-		}
-		// Failed jobs stay here; only interrupted work moves. A canceled
-		// job with no checkpoint was queued (or non-adaptive): hand the
-		// bare request over so the acceptance is still honoured.
-		if state != StateCanceled {
+		// Only drain-interrupted work moves. Every other terminal job —
+		// done, failed, or canceled by the user (even long before this
+		// drain; the store retains terminal jobs) — retires its standby
+		// entry here, synchronously: finish() retires asynchronously, and
+		// on the exit path that goroutine races process death. A stale
+		// entry left behind makes the survivor resurrect the job once its
+		// origin is probed down. A drain-canceled job with no checkpoint
+		// was queued when the drain landed: hand the bare request over so
+		// the acceptance is still honoured.
+		if state != StateCanceled || !drainCanceled {
+			if state == StateDone || state == StateFailed || state == StateCanceled {
+				s.retireStandby(j)
+			}
 			continue
 		}
 		var ckWire json.RawMessage

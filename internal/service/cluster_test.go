@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -81,8 +82,14 @@ func startFleet(t *testing.T, n int) []*clusterNode {
 // death by probe.
 func (nd *clusterNode) kill() {
 	// Goroutine-stop first: Stop blocks on the probe loop, and a job that
-	// finishes in that window would retire its own standby entry.
-	nd.svc.sched.cancelInFlight(nd.svc.markCanceled)
+	// finishes in that window would retire its own standby entry. The
+	// cancellations are tagged drain-issued so finish() treats them as
+	// infrastructure-interrupted work (no standby retire) rather than user
+	// cancels — a real SIGKILL runs no finish() at all.
+	nd.svc.sched.cancelInFlight(
+		func(j *Job) { j.markDrainCanceled(); nd.svc.markCanceled(j) },
+		func(j *Job) { j.markDrainCanceled(); j.cancel() },
+	)
 	nd.cl.Stop()
 	nd.srv.Close()
 }
@@ -477,5 +484,117 @@ func assertBitIdentical(t *testing.T, ref, got *JobResult) {
 	gotT := got.Time + got.CacheSaved[0] + got.CacheSaved[1]
 	if math.Abs(refT-gotT) > 1e-6*math.Max(1, math.Abs(refT)) {
 		t.Errorf("Time+ΣCacheSaved differs: got %g, ref %g", gotT, refT)
+	}
+}
+
+// TestHandoffSkipsUserCanceled: a job the user explicitly canceled (DELETE
+// /v1/jobs/{id}) must not be shipped to a peer on drain — the cancel
+// contract outlives the replica. The store retains terminal jobs, so
+// without the drain-canceled distinction every SIGTERM would resurrect it.
+// Handoff must instead retire any standby entry the job left behind.
+func TestHandoffSkipsUserCanceled(t *testing.T) {
+	nodes := startFleet(t, 2)
+	req := JobRequest{TauG: 4, TauB: 40, Workload: WorkloadSpec{NumDocs: 450, Seed: 7}}
+	owner, peer := ownerAndPeer(t, nodes, req)
+	waitFleetHealthy(t, nodes)
+
+	// One worker: the first job occupies it, the second queues; canceling
+	// the queued job is the user-DELETE path (markCanceled, no drain flag).
+	blocker, err := owner.svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := owner.svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.svc.Cancel(victim.ID); err != nil {
+		t.Fatal(err)
+	}
+	awaitDone(t, owner.svc, blocker.ID, 60*time.Second)
+	deadline := time.Now().Add(30 * time.Second)
+	for !victim.terminal() {
+		if time.Now().After(deadline) {
+			t.Fatal("canceled job never reached a terminal state")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Recreate the stale standby entry an unsent async retire leaves behind
+	// for the canceled job.
+	reqWire, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.svc.acceptStandby(standbyWire{
+		ID: victim.ID, Origin: owner.cl.SelfName(), Request: reqWire,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	hctx, hcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer hcancel()
+	if n := owner.svc.Handoff(hctx); n != 0 {
+		t.Errorf("Handoff moved %d jobs, want 0 (user-canceled must stay canceled)", n)
+	}
+	if got := peer.svc.StandbyCount(); got != 0 {
+		t.Errorf("user-canceled job's standby entry survived Handoff: count = %d", got)
+	}
+	if _, err := peer.svc.job(victim.ID); err == nil {
+		t.Error("peer adopted a user-canceled job")
+	}
+}
+
+// TestStandbyRejectsHandoffWhileDraining: a draining replica has no workers
+// left, so accepting an activate (drain handoff) would journal a job that
+// sits queued forever while the sender counts it handed off. It must answer
+// non-200 (503) so the job stays recoverable at its origin; plain standby
+// holds are still accepted — holding replicas for peers needs no workers.
+func TestStandbyRejectsHandoffWhileDraining(t *testing.T) {
+	nodes := startFleet(t, 2)
+	owner, peer := nodes[0], nodes[1]
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	peer.svc.Drain(dctx)
+
+	reqWire, err := json.Marshal(JobRequest{TauG: 4, TauB: 40, Workload: WorkloadSpec{NumDocs: 450, Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := standbyWire{
+		ID: owner.cl.SelfName() + "-j000001", Origin: owner.cl.SelfName(),
+		Request: reqWire, Activate: true,
+	}
+	if err := peer.svc.acceptStandby(wire); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining replica accepted a handoff: err = %v, want ErrDraining", err)
+	}
+	if _, err := peer.svc.job(wire.ID); err == nil {
+		t.Error("draining replica stored the refused job")
+	}
+
+	// Over HTTP the refusal is a 503, which the sender logs as a failure.
+	body, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(peer.base+"/v1/cluster/standby", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("handoff to draining replica answered %s, want 503", resp.Status)
+	}
+
+	// A plain hold (no Activate) is still fine while draining.
+	hold := standbyWire{
+		ID: owner.cl.SelfName() + "-j000002", Origin: owner.cl.SelfName(), Request: reqWire,
+	}
+	if err := peer.svc.acceptStandby(hold); err != nil {
+		t.Errorf("draining replica refused a plain standby hold: %v", err)
+	}
+	if got := peer.svc.StandbyCount(); got != 1 {
+		t.Errorf("standby count = %d, want 1", got)
 	}
 }

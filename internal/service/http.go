@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -298,6 +299,10 @@ func (s *Service) handleStandby(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.acceptStandby(msg); err != nil {
+		if errors.Is(err, ErrDraining) {
+			writeErr(w, http.StatusServiceUnavailable, err, "draining")
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err, "bad_request")
 		return
 	}

@@ -285,6 +285,17 @@ type Job struct {
 	err        string
 	result     *JobResult
 	checkpoint *joinopt.AdaptiveCheckpoint
+	// drainCanceled marks a cancellation issued by the drain itself, not a
+	// user DELETE. Handoff only migrates drain-interrupted jobs: a
+	// user-canceled job shipped to a peer would be resurrected, violating
+	// the cancel contract.
+	drainCanceled bool
+	// standbys records every peer base URL this job's checkpoints were
+	// replicated to. Retirement must reach all of them, not just the
+	// current successor: if the successor changes mid-run (a transient
+	// false-down), the earlier holder would otherwise keep a stale entry
+	// that is adoptable forever.
+	standbys map[string]struct{}
 	// recovered is the checkpoint decoded from the durable store when this
 	// job was rebuilt after a daemon restart: the run resumes from it
 	// instead of starting over. Write-once during recovery, before the job
@@ -293,6 +304,15 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+}
+
+// markDrainCanceled records that the cancellation about to land on this job
+// comes from the drain, so Handoff knows it is interrupted work to migrate
+// rather than a cancel to honor.
+func (j *Job) markDrainCanceled() {
+	j.mu.Lock()
+	j.drainCanceled = true
+	j.mu.Unlock()
 }
 
 // Status snapshots the job for the status endpoint.

@@ -186,10 +186,12 @@ func (s *scheduler) startDrain() <-chan struct{} {
 	return s.idleCh
 }
 
-// cancelInFlight cancels every running job's context (adaptive runs
-// checkpoint and return their partial results) and retires every job still
-// queued, marking it canceled. Used when a drain's grace period expires.
-func (s *scheduler) cancelInFlight(markCanceled func(*Job)) {
+// cancelInFlight retires every job still queued (via markCanceled) and
+// cancels every running job (via cancelRunning — adaptive runs checkpoint
+// and return their partial results). Used when a drain's grace period
+// expires; the callbacks let the caller tag the cancellations as
+// drain-issued before they land.
+func (s *scheduler) cancelInFlight(markCanceled, cancelRunning func(*Job)) {
 	s.mu.Lock()
 	var queued []*Job
 	for len(s.queue) > 0 {
@@ -206,7 +208,7 @@ func (s *scheduler) cancelInFlight(markCanceled func(*Job)) {
 		markCanceled(j)
 	}
 	for _, j := range inflight {
-		j.cancel()
+		cancelRunning(j)
 	}
 }
 

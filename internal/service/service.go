@@ -675,10 +675,21 @@ func (s *Service) finish(j *Job, res *JobResult, err error) {
 		s.journal(durable.Record{Seq: j.seq, Event: durable.EventFinished, JobID: j.ID, State: state, Error: msg})
 	}
 
-	if s.opts.Cluster != nil && state == StateDone && (j.req.Mode == ModeAdaptive || j.req.Mode == "") {
-		// The origin finished the job itself: retire the replicated
-		// checkpoint so the standby never spuriously adopts a done job.
-		// Asynchronous — a slow peer must not serialize job completion.
+	j.mu.Lock()
+	drainCanceled := j.drainCanceled
+	j.mu.Unlock()
+	if s.opts.Cluster != nil && (j.req.Mode == ModeAdaptive || j.req.Mode == "") &&
+		!(state == StateCanceled && drainCanceled) {
+		// The job reached a terminal state here: retire the replicated
+		// checkpoint so the standby never spuriously adopts it. This covers
+		// Done, Failed, and user-canceled — a canceled or failed job left
+		// in a peer's standby store would be resurrected (re-running
+		// canceled work, or retrying a known failure) when the origin later
+		// dies. Drain-canceled jobs are the one exception: they are
+		// interrupted work, and Handoff decides their fate next (ship to a
+		// successor, or keep the standby entry recoverable if no peer is
+		// live). Asynchronous — a slow peer must not serialize completion;
+		// Handoff re-retires terminal jobs synchronously on the exit path.
 		go s.retireStandby(j)
 	}
 
@@ -703,7 +714,10 @@ func (s *Service) Drain(ctx context.Context) {
 		select {
 		case <-idle:
 		case <-ctx.Done():
-			s.sched.cancelInFlight(s.markCanceled)
+			s.sched.cancelInFlight(
+				func(j *Job) { j.markDrainCanceled(); s.markCanceled(j) },
+				func(j *Job) { j.markDrainCanceled(); j.cancel() },
+			)
 			<-idle
 		}
 		s.sched.wait()
